@@ -1,0 +1,159 @@
+package autoindex
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoindex/internal/schema"
+	"autoindex/internal/sqlparser"
+)
+
+func seedDatabase(t testing.TB, r *Region, name string) *Database {
+	t.Helper()
+	db := r.NewDatabase(name, TierStandard)
+	if _, err := db.Exec(`CREATE TABLE items (id BIGINT NOT NULL, cat BIGINT, price FLOAT, PRIMARY KEY (id))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			`INSERT INTO items (id, cat, price) VALUES (%d, %d, %d.5)`, i, i%150, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RebuildAllStats()
+	return db
+}
+
+func TestRegionEndToEnd(t *testing.T) {
+	r := NewRegion(1)
+	db := seedDatabase(t, r, "app")
+	r.Manage(db, "srv", Settings{AutoCreate: true, AutoDrop: true})
+
+	for h := 0; h < 30; h++ {
+		for q := 0; q < 15; q++ {
+			if _, err := db.Exec(fmt.Sprintf(`SELECT id, price FROM items WHERE cat = %d`, (h*17+q)%150)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Advance(time.Hour)
+	}
+
+	implemented := false
+	for _, def := range db.IndexDefs() {
+		if def.AutoCreated {
+			implemented = true
+		}
+	}
+	if !implemented {
+		t.Fatal("service did not implement an index")
+	}
+	if len(r.History("app")) == 0 {
+		t.Fatal("no action history")
+	}
+	stats := r.OpStats()
+	if stats.CreatesImplemented == 0 || stats.Validations == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestManualApplyFlow(t *testing.T) {
+	r := NewRegion(2)
+	db := seedDatabase(t, r, "manual")
+	r.Manage(db, "srv", Settings{}) // auto-implementation off
+
+	for h := 0; h < 12; h++ {
+		for q := 0; q < 15; q++ {
+			db.Exec(fmt.Sprintf(`SELECT id, price FROM items WHERE cat = %d`, (h+q)%150)) //nolint:errcheck
+		}
+		r.Advance(time.Hour)
+	}
+	recs := r.Recommendations("manual")
+	if len(recs) == 0 {
+		t.Fatal("no recommendations surfaced")
+	}
+	detail, err := r.Details(recs[0].ID)
+	if err != nil || detail == "" {
+		t.Fatalf("details: %v", err)
+	}
+	if err := r.Apply(recs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 16; h++ {
+		for q := 0; q < 15; q++ {
+			db.Exec(fmt.Sprintf(`SELECT id, price FROM items WHERE cat = %d`, (h+q)%150)) //nolint:errcheck
+		}
+		r.Advance(time.Hour)
+	}
+	rec, ok := r.Plane().StateStore().GetRecord(recs[0].ID)
+	if !ok || rec.State.Terminal() == false && rec.State != "Validating" {
+		if !ok {
+			t.Fatal("record lost")
+		}
+	}
+	if _, exists := db.IndexDef(recs[0].Index.Name); !exists && rec.State != "Reverted" {
+		t.Fatalf("applied index missing, state=%s", rec.State)
+	}
+}
+
+func TestServerInheritance(t *testing.T) {
+	r := NewRegion(3)
+	r.SetServerSettings("srv", ServerSettings{AutoCreate: true})
+	db := seedDatabase(t, r, "inherit")
+	r.Manage(db, "srv", Settings{InheritFromServer: true})
+	for h := 0; h < 24; h++ {
+		for q := 0; q < 15; q++ {
+			db.Exec(fmt.Sprintf(`SELECT id, price FROM items WHERE cat = %d`, (h*3+q)%150)) //nolint:errcheck
+		}
+		r.Advance(time.Hour)
+	}
+	found := false
+	for _, def := range db.IndexDefs() {
+		if def.AutoCreated {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inherited auto-create did not implement")
+	}
+}
+
+// helpers shared with bench_test.go
+
+func mustIndexDef() schema.IndexDef {
+	return schema.IndexDef{
+		Name: "hypo_cat", Table: "items",
+		KeyColumns: []string{"cat"}, IncludedColumns: []string{"price"},
+	}
+}
+
+func mustParse(sql string) sqlparser.Statement {
+	return sqlparser.MustParse(sql)
+}
+
+func TestMultiRegionDashboard(t *testing.T) {
+	regions := map[string]*Region{}
+	for _, name := range []string{"west-eu", "east-us"} {
+		r := NewRegion(int64(len(name)))
+		db := seedDatabase(t, r, "db-"+name)
+		r.Manage(db, "srv", Settings{AutoCreate: true})
+		for h := 0; h < 20; h++ {
+			for q := 0; q < 12; q++ {
+				db.Exec(fmt.Sprintf(`SELECT id, price FROM items WHERE cat = %d`, (h+q)%150)) //nolint:errcheck
+			}
+			r.Advance(time.Hour)
+		}
+		regions[name] = r
+	}
+	rows := Dashboard(regions)
+	if len(rows) != 2 || rows[0].Region != "east-us" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	total := DashboardTotal(rows)
+	if total.Databases != 2 {
+		t.Fatalf("total: %+v", total)
+	}
+	if total.CreatesImplemented == 0 {
+		t.Fatal("nothing implemented across regions")
+	}
+}

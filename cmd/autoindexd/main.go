@@ -1,0 +1,100 @@
+// Command autoindexd runs the auto-indexing service over a simulated
+// multi-tenant region and reports the service's activity: per-database
+// recommendations, implementations, validations and reverts, plus the
+// aggregated operational statistics.
+//
+// Usage:
+//
+//	autoindexd -databases 6 -days 8 -seed 42 -auto 0.5 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"autoindex/internal/fleet"
+)
+
+func main() {
+	var (
+		databases = flag.Int("databases", 6, "number of tenant databases")
+		days      = flag.Int("days", 8, "virtual days to run")
+		seed      = flag.Int64("seed", 42, "fleet seed")
+		auto      = flag.Float64("auto", 0.5, "fraction of databases with auto-implementation")
+		stmtsHr   = flag.Int("stmts", 30, "statements per database per virtual hour")
+		verbose   = flag.Bool("v", false, "print per-database action history")
+		listen    = flag.String("listen", "", "after the run, serve the §2 REST management API on this address (e.g. :8080)")
+	)
+	flag.Parse()
+
+	fl, err := fleet.Build(fleet.Spec{
+		Databases:   *databases,
+		MixedTiers:  true,
+		Seed:        *seed,
+		UserIndexes: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autoindexd:", err)
+		os.Exit(1)
+	}
+	cfg := fleet.DefaultOpsConfig()
+	cfg.Days = *days
+	cfg.StatementsPerHour = *stmtsHr
+	cfg.AutoImplementFraction = *auto
+
+	fmt.Printf("autoindexd: managing %d databases for %d virtual days (seed %d)\n\n",
+		*databases, *days, *seed)
+	res, err := fl.RunOps(fleet.Spec{Seed: *seed, UserIndexes: true}, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autoindexd:", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for _, tn := range fl.Tenants {
+			hist := res.Plane.History(tn.DB.Name())
+			active := res.Plane.ListRecommendations(tn.DB.Name())
+			if len(hist) == 0 && len(active) == 0 {
+				continue
+			}
+			fmt.Printf("%s (%s):\n", tn.DB.Name(), tn.DB.Tier())
+			for _, r := range active {
+				fmt.Printf("  [Active]      %s\n", r.Describe())
+			}
+			for _, r := range hist {
+				fmt.Printf("  [%-11s] %s %s", r.State, r.Action, r.Index.Name)
+				if r.Validation != nil {
+					fmt.Printf(" — %s", r.Validation.Verdict)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("operational summary (cf. paper §8.1):")
+	fmt.Println(" ", res.Stats.String())
+	fmt.Printf("  queries >2x faster: %d; databases with >50%% aggregate CPU reduction: %d; steady-state databases: %d\n",
+		res.QueriesTwiceFaster, res.DatabasesHalvedCPU, res.SteadyStateDatabases)
+	fmt.Println("\ntelemetry counters:")
+	for _, c := range res.Plane.Telemetry().Counters() {
+		fmt.Println("  ", c)
+	}
+	if inc := res.Plane.StateStore().Incidents(); len(inc) > 0 {
+		fmt.Printf("\n%d incidents for on-call review:\n", len(inc))
+		for _, i := range inc {
+			fmt.Printf("  [%s] %s %s: %s\n", i.At.Format(time.RFC3339), i.Database, i.Kind, i.Message)
+		}
+	}
+
+	if *listen != "" {
+		fmt.Printf("\nserving management API on %s (GET /databases, /opstats, ...)\n", *listen)
+		if err := http.ListenAndServe(*listen, res.Plane.HTTPHandler()); err != nil {
+			fmt.Fprintln(os.Stderr, "autoindexd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command dtacli runs a single DTA tuning session against a generated
+// tenant database — the on-demand, DBA-style invocation the paper's
+// service automates — and prints the recommendation, the per-statement
+// report, and the workload coverage.
+//
+// Usage:
+//
+//	dtacli -tier premium -seed 7 -hours 24 -stmts 1200 -max-indexes 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/recommend/dta"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+func parseTier(s string) (engine.Tier, error) {
+	switch strings.ToLower(s) {
+	case "basic":
+		return engine.TierBasic, nil
+	case "standard":
+		return engine.TierStandard, nil
+	case "premium":
+		return engine.TierPremium, nil
+	default:
+		return 0, fmt.Errorf("unknown tier %q (basic|standard|premium)", s)
+	}
+}
+
+func main() {
+	var (
+		tierStr    = flag.String("tier", "standard", "service tier: basic|standard|premium")
+		seed       = flag.Int64("seed", 7, "tenant seed")
+		hours      = flag.Int("hours", 24, "virtual hours of workload before tuning")
+		stmts      = flag.Int("stmts", 1200, "statements to execute before tuning")
+		maxIndexes = flag.Int("max-indexes", 0, "override max indexes (0 = tier default)")
+		budgetMB   = flag.Int64("storage-budget-mb", 0, "override storage budget (0 = tier default)")
+	)
+	flag.Parse()
+
+	tier, err := parseTier(*tierStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtacli:", err)
+		os.Exit(2)
+	}
+	clock := sim.NewClock()
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "dtacli", Tier: tier, Seed: *seed, UserIndexes: true,
+	}, clock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtacli:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated tenant (%s tier): tables=%v, %d templates\n",
+		tier, tn.DB.TableNames(), len(tn.Templates))
+	fmt.Printf("replaying %d statements over %d virtual hours...\n", *stmts, *hours)
+	tn.Run(time.Duration(*hours)*time.Hour, *stmts)
+
+	opts := dta.OptionsForTier(tier)
+	if *maxIndexes > 0 {
+		opts.MaxIndexes = *maxIndexes
+	}
+	if *budgetMB > 0 {
+		opts.StorageBudgetBytes = *budgetMB << 20
+	}
+	fmt.Printf("\nDTA session: window=%s topK=%d maxIndexes=%d budget=%dMB whatIfBudget=%d\n",
+		opts.WindowN, opts.TopK, opts.MaxIndexes, opts.StorageBudgetBytes>>20, opts.MaxWhatIfCalls)
+
+	res, err := dta.Run(tn.DB, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtacli: session error:", err)
+		if res == nil {
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("\nrecommendation (%d indexes, est. workload improvement %.1f%%):\n",
+		len(res.Recommendations), res.EstWorkloadImprovementPct)
+	for _, c := range res.Recommendations {
+		fmt.Printf("  %s\n    est. improvement %.1f units (%.1f%%), size %.1f MB, impacts %d statements\n",
+			c.Def.String(), c.EstImprovement, c.EstImprovementPct,
+			float64(c.EstSizeBytes)/(1<<20), len(c.ImpactedQueries))
+	}
+
+	fmt.Printf("\nper-statement report (workload coverage %s, %d what-if calls, %d sampled stats):\n",
+		res.Coverage, res.WhatIfCalls, res.StatsCreated)
+	for _, r := range res.Reports {
+		switch {
+		case r.Skipped != "":
+			fmt.Printf("  SKIP  %-70.70s  (%s)\n", r.Text, r.Skipped)
+		case len(r.Indexes) > 0:
+			fmt.Printf("  TUNE  %-70.70s  cost %.2f -> %.2f via %s\n",
+				r.Text, r.CostBefore, r.CostAfter, strings.Join(r.Indexes, ", "))
+		default:
+			fmt.Printf("  OK    %-70.70s  cost %.2f (no index impact)\n", r.Text, r.CostBefore)
+		}
+	}
+	if res.Aborted {
+		fmt.Println("\nnote: session hit its resource budget; results are partial")
+	}
+}

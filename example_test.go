@@ -1,0 +1,34 @@
+package autoindex_test
+
+import (
+	"fmt"
+	"time"
+
+	"autoindex"
+)
+
+// Example shows the minimal lifecycle: create a database, run a workload,
+// let the service recommend/implement/validate, then inspect the history.
+func Example() {
+	region := autoindex.NewRegion(1)
+	db := region.NewDatabase("shop", autoindex.TierStandard)
+	db.Exec(`CREATE TABLE orders (id BIGINT NOT NULL, customer_id BIGINT, amount FLOAT, PRIMARY KEY (id))`)
+	for i := 0; i < 1000; i++ {
+		db.Exec(fmt.Sprintf(`INSERT INTO orders (id, customer_id, amount) VALUES (%d, %d, %d.5)`, i, i%100, i))
+	}
+	db.RebuildAllStats()
+
+	region.Manage(db, "server-1", autoindex.Settings{AutoCreate: true, AutoDrop: true})
+	for h := 0; h < 24; h++ {
+		for q := 0; q < 10; q++ {
+			db.Exec(fmt.Sprintf(`SELECT id, amount FROM orders WHERE customer_id = %d`, (h+q)%100))
+		}
+		region.Advance(time.Hour)
+	}
+
+	for _, rec := range region.Recommendations("shop") {
+		_ = rec.Describe() // e.g. "CREATE INDEX auto_ix_orders_customer_id ON orders (customer_id) — est. impact 41.0%"
+	}
+	fmt.Println(region.OpStats().Databases)
+	// Output: 1
+}

@@ -1,0 +1,97 @@
+// B-instance experimentation (§7): fork a B-instance from a production
+// database, forward the live workload to both through a TDS-style fork,
+// try an index change on the B-instance only, and compare measured costs —
+// the primary never sees the experiment.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"autoindex/internal/binstance"
+	"autoindex/internal/engine"
+	"autoindex/internal/experiment"
+	"autoindex/internal/querystore"
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+func main() {
+	clock := sim.NewClock()
+	rng := sim.NewRNG(1234)
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "prod", Tier: engine.TierStandard, Seed: 555, UserIndexes: true,
+	}, clock)
+	if err != nil {
+		panic(err)
+	}
+	table := tn.DB.TableNames()[0]
+	fmt.Printf("production database %q: tables %v\n", tn.DB.Name(), tn.DB.TableNames())
+
+	eng := &experiment.Engine{Clock: clock, RNG: rng}
+	var hypoIndex schema.IndexDef
+	wf := experiment.Workflow{Name: "try-index", Steps: []experiment.Step{
+		experiment.StepCreateBInstance(binstance.DefaultConfig()),
+		// Phase 1: live traffic forked to both instances.
+		experiment.StepMark("before-start"),
+		experiment.StepReplay("before", 12*time.Hour, 400, true),
+		experiment.StepMark("before-end"),
+		experiment.StepCheckDivergence(0.25),
+		// Experiment: create a candidate index on the B-instance only.
+		experiment.StepCustom("create-candidate", func(ctx *experiment.Context) error {
+			ti, _ := ctx.B.DB.Table(table)
+			for _, c := range ti.Def.Columns {
+				if c.Name != "id" && !c.Nullable == false {
+					hypoIndex = schema.IndexDef{
+						Name: "exp_candidate", Table: table,
+						KeyColumns: []string{c.Name}, AutoCreated: true,
+					}
+					break
+				}
+			}
+			if hypoIndex.Name == "" {
+				hypoIndex = schema.IndexDef{Name: "exp_candidate", Table: table, KeyColumns: []string{ti.Def.Columns[1].Name}, AutoCreated: true}
+			}
+			return ctx.B.DB.CreateIndex(hypoIndex, engine.IndexBuildOptions{Online: true, Resumable: true})
+		}),
+		// Phase 2: more forked traffic, now with the index in place on B.
+		experiment.StepMark("after-start"),
+		experiment.StepReplay("after", 12*time.Hour, 400, true),
+		experiment.StepMark("after-end"),
+	}}
+
+	ctx, err := eng.Execute(wf, tn)
+	if err != nil {
+		fmt.Println("experiment failed (framework cleaned up):", err)
+		return
+	}
+
+	bFrom, _ := experiment.MarkedTime(ctx, "before-start")
+	bTo, _ := experiment.MarkedTime(ctx, "before-end")
+	aFrom, _ := experiment.MarkedTime(ctx, "after-start")
+	aTo, _ := experiment.MarkedTime(ctx, "after-end")
+	qs := ctx.B.DB.QueryStore()
+	var beforeCPU, afterCPU float64
+	for _, h := range qs.QueryHashes() {
+		if s, ok := qs.QueryWindowSample(h, querystore.MetricCPU, bFrom, bTo); ok {
+			beforeCPU += s.Mean * float64(s.N)
+		}
+		if s, ok := qs.QueryWindowSample(h, querystore.MetricCPU, aFrom, aTo); ok {
+			afterCPU += s.Mean * float64(s.N)
+		}
+	}
+	replayed, dropped := ctx.B.Stats()
+	fmt.Printf("\nB-instance %s: replayed=%d dropped=%d divergence=%.3f\n",
+		ctx.B.DB.Name(), replayed, dropped, ctx.B.Divergence())
+	fmt.Printf("candidate index: %s\n", hypoIndex.String())
+	fmt.Printf("workload CPU on B-instance: before=%.1f after=%.1f (%+.1f%%)\n",
+		beforeCPU, afterCPU, (afterCPU-beforeCPU)/beforeCPU*100)
+	if _, ok := tn.DB.IndexDef("exp_candidate"); !ok {
+		fmt.Println("primary database untouched — the experiment never risked production.")
+	}
+	fmt.Println("\nexperiment log:")
+	for _, l := range ctx.Log {
+		fmt.Println("  ", l)
+	}
+}

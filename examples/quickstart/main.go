@@ -1,0 +1,79 @@
+// Quickstart: create a database, run a workload, and let the
+// auto-indexing service recommend, implement and validate indexes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"autoindex"
+)
+
+func main() {
+	region := autoindex.NewRegion(42)
+	db := region.NewDatabase("shop", autoindex.TierStandard)
+
+	// Schema + data through plain SQL.
+	mustExec(db, `CREATE TABLE orders (
+		id BIGINT NOT NULL, customer_id BIGINT, status VARCHAR,
+		amount FLOAT, created BIGINT, note VARCHAR, PRIMARY KEY (id))`)
+	for i := 0; i < 4000; i++ {
+		status := "open"
+		if i%4 == 0 {
+			status = "closed"
+		}
+		mustExec(db, fmt.Sprintf(
+			`INSERT INTO orders (id, customer_id, status, amount, created, note) VALUES (%d, %d, '%s', %d.5, %d, 'note-%d')`,
+			i, i%200, status, i%500, i, i))
+	}
+	db.RebuildAllStats()
+
+	// Manage it: recommendations are implemented and validated for us.
+	region.Manage(db, "server-1", autoindex.Settings{AutoCreate: true, AutoDrop: true})
+
+	// A workload the current physical design serves poorly.
+	workload := func(n int) {
+		for i := 0; i < n; i++ {
+			mustExec(db, fmt.Sprintf(`SELECT id, amount FROM orders WHERE customer_id = %d`, i%200))
+			mustExec(db, fmt.Sprintf(`SELECT id FROM orders WHERE status = 'closed' AND amount > %d`, i%400))
+			if i%5 == 0 {
+				mustExec(db, fmt.Sprintf(`UPDATE orders SET amount = %d.25 WHERE id = %d`, i, i%4000))
+			}
+		}
+	}
+
+	fmt.Println("== day 1: workload runs, service observes ==")
+	for h := 0; h < 24; h++ {
+		workload(20)
+		region.Advance(time.Hour)
+	}
+	for _, rec := range region.Recommendations("shop") {
+		fmt.Println("  active:", rec.Describe())
+	}
+
+	fmt.Println("\n== days 2-3: service implements and validates ==")
+	for h := 0; h < 48; h++ {
+		workload(20)
+		region.Advance(time.Hour)
+	}
+
+	fmt.Println("\nindexes on orders now:")
+	for _, def := range db.IndexDefs() {
+		fmt.Println("  ", def.String())
+	}
+	fmt.Println("\naction history:")
+	for _, rec := range region.History("shop") {
+		fmt.Printf("  [%-10s] %s %s", rec.State, rec.Action, rec.Index.Name)
+		if rec.Validation != nil {
+			fmt.Printf(" — validation: %s", rec.Validation.Verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nservice summary:", region.OpStats().String())
+}
+
+func mustExec(db *autoindex.Database, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}

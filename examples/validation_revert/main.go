@@ -1,0 +1,102 @@
+// Validation & auto-revert (§6): an index that the optimizer estimates to
+// help but that actually regresses the workload (here: heavy maintenance
+// on a write-hot column) is detected by the validator's Welch t-test over
+// Query Store statistics and automatically reverted.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"autoindex"
+	"autoindex/internal/controlplane"
+	"autoindex/internal/core"
+	"autoindex/internal/schema"
+)
+
+func main() {
+	region := autoindex.NewRegion(21)
+	db := region.NewDatabase("writehot", autoindex.TierBasic)
+
+	mustExec(db, `CREATE TABLE events (
+		id BIGINT NOT NULL, device BIGINT, kind VARCHAR, reading FLOAT,
+		PRIMARY KEY (id))`)
+	for i := 0; i < 2000; i++ {
+		mustExec(db, fmt.Sprintf(
+			`INSERT INTO events (id, device, kind, reading) VALUES (%d, %d, 'k%d', %d.5)`,
+			i, i%40, i%6, i))
+	}
+	db.RebuildAllStats()
+	region.Manage(db, "server-1", autoindex.Settings{}) // no auto-implement: we drive one bad index by hand
+
+	// A write-dominated workload: readings are updated constantly, read
+	// rarely. An index on (reading) would be maintained on every update.
+	next := 2000
+	workload := func(n int) {
+		for i := 0; i < n; i++ {
+			mustExec(db, fmt.Sprintf(`UPDATE events SET reading = %d.25 WHERE id = %d`, i, (i*37)%2000))
+			mustExec(db, fmt.Sprintf(`INSERT INTO events (id, device, kind, reading) VALUES (%d, %d, 'k%d', 1.5)`, next, next%40, next%6))
+			next++
+			if i%10 == 0 {
+				// The rare read that makes the index look attractive.
+				mustExec(db, fmt.Sprintf(`SELECT id FROM events WHERE reading > %d AND reading < %d`, i%100, i%100+2))
+			}
+		}
+	}
+
+	// Warm up so Query Store has "before" statistics.
+	fmt.Println("running write-heavy workload...")
+	for h := 0; h < 24; h++ {
+		workload(15)
+		region.Advance(time.Hour)
+	}
+
+	// File a deliberately bad recommendation, as if a recommender had
+	// trusted the optimizer's estimate (§6: estimated-better, actually
+	// worse). The control plane implements it because auto-create is on,
+	// then validates it because the user requested the apply.
+	rec := &controlplane.Record{
+		Recommendation: core.Recommendation{
+			ID:       "rec-writehot-bad-1",
+			Database: "writehot",
+			Action:   core.ActionCreateIndex,
+			Index: schema.IndexDef{
+				Name: "auto_ix_events_reading", Table: "events",
+				KeyColumns: []string{"reading"}, AutoCreated: true,
+			},
+			Source:    core.SourceMI,
+			CreatedAt: region.Clock().Now(),
+		},
+		State:         controlplane.StateActive,
+		UserRequested: true, // "apply" from the portal (§2)
+		UpdatedAt:     region.Clock().Now(),
+	}
+	region.Plane().StateStore().SaveRecord(rec)
+
+	fmt.Println("bad index recommendation filed; service implements and validates...")
+	for h := 0; h < 36; h++ {
+		workload(15)
+		region.Advance(time.Hour)
+	}
+
+	r, _ := region.Plane().StateStore().GetRecord("rec-writehot-bad-1")
+	fmt.Printf("\nrecommendation final state: %s\n", r.State)
+	if r.Validation != nil {
+		fmt.Println("validation:", r.Validation.Describe())
+		for _, qv := range r.Validation.Queries {
+			fmt.Printf("  %-12s metric=%s before=%.2f after=%.2f p=%.4f\n",
+				qv.Verdict, qv.Metric, qv.Before.Mean, qv.After.Mean, qv.P)
+		}
+	}
+	if _, exists := db.IndexDef("auto_ix_events_reading"); !exists {
+		fmt.Println("\nindex was automatically reverted — the workload is protected.")
+	} else {
+		fmt.Println("\nindex survived validation.")
+	}
+}
+
+func mustExec(db *autoindex.Database, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module autoindex
+
+go 1.22

@@ -1,0 +1,196 @@
+package autoindex
+
+// Cross-component integration tests exercising the paper's end-to-end
+// claims through the public facade: the closed loop (observe → recommend →
+// implement → validate → revert), drop analysis on a mature database, and
+// failover resilience of the MI pipeline.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"autoindex/internal/controlplane"
+	"autoindex/internal/core"
+	"autoindex/internal/engine"
+	"autoindex/internal/schema"
+	"autoindex/internal/validate"
+	"autoindex/internal/workload"
+)
+
+// TestClosedLoopOnGeneratedTenant drives a realistic tenant through the
+// whole service and asserts the §8.1 invariants hold on one database:
+// indexes get implemented, every implemented index is validated, reverted
+// indexes are gone, successful ones remain.
+func TestClosedLoopOnGeneratedTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	region := NewRegion(4242)
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "loop", Tier: TierStandard, Seed: 321, UserIndexes: true,
+		WriteFraction: 0.25,
+	}, region.Clock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	region.Manage(tn.DB, "srv", Settings{AutoCreate: true, AutoDrop: true})
+
+	for day := 0; day < 6; day++ {
+		for h := 0; h < 24; h++ {
+			tn.Run(0, 25)
+			region.Advance(time.Hour)
+		}
+	}
+
+	stats := region.OpStats()
+	if stats.CreatesImplemented == 0 {
+		t.Fatal("nothing implemented")
+	}
+	if stats.Validations == 0 {
+		t.Fatal("nothing validated")
+	}
+	history := region.History("loop")
+	// A successfully created index may legitimately be dropped later by the
+	// §5.4 drop analysis (or be mid-drop); only flag truly lost indexes.
+	droppedLater := func(index string) bool {
+		for _, r := range history {
+			if r.Action == core.ActionDropIndex && r.Index.Name == index {
+				return true
+			}
+		}
+		return false
+	}
+	for _, rec := range history {
+		switch rec.State {
+		case controlplane.StateSuccess:
+			if rec.Action.String() == "CREATE INDEX" {
+				if _, ok := tn.DB.IndexDef(rec.Index.Name); !ok && !droppedLater(rec.Index.Name) {
+					t.Fatalf("successful index %s missing from database", rec.Index.Name)
+				}
+			}
+			if rec.Validation == nil {
+				t.Fatalf("success without validation: %s", rec.ID)
+			}
+		case controlplane.StateReverted:
+			if rec.Action.String() == "CREATE INDEX" {
+				if _, ok := tn.DB.IndexDef(rec.Index.Name); ok {
+					t.Fatalf("reverted index %s still exists", rec.Index.Name)
+				}
+			}
+			if rec.Validation == nil || !rec.Validation.Revert {
+				t.Fatalf("reverted without revert verdict: %s", rec.ID)
+			}
+		}
+	}
+}
+
+// TestDropLoopRemovesDeadIndex verifies the §5.4 path end to end: a
+// maintained-but-unread index is recommended for drop, dropped at low
+// priority, and validated.
+func TestDropLoopRemovesDeadIndex(t *testing.T) {
+	region := NewRegion(7)
+	db := region.NewDatabase("dead", TierStandard)
+	mustExecI(t, db, `CREATE TABLE logs (id BIGINT NOT NULL, kind BIGINT, size BIGINT, PRIMARY KEY (id))`)
+	for i := 0; i < 1500; i++ {
+		mustExecI(t, db, fmt.Sprintf(`INSERT INTO logs (id, kind, size) VALUES (%d, %d, %d)`, i, i%20, i%100))
+	}
+	db.RebuildAllStats()
+	// A dead index: maintained by every update, read by nothing.
+	if err := db.CreateIndex(schema.IndexDef{Name: "ix_dead", Table: "logs", KeyColumns: []string{"size"}}, engine.IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+	region.Manage(db, "srv", Settings{AutoDrop: true})
+
+	for day := 0; day < 5; day++ {
+		for h := 0; h < 24; h++ {
+			for q := 0; q < 6; q++ {
+				mustExecI(t, db, fmt.Sprintf(`UPDATE logs SET size = %d WHERE id = %d`, q, (day*100+h*7+q)%1500))
+				mustExecI(t, db, fmt.Sprintf(`SELECT id FROM logs WHERE kind = %d`, q%20))
+			}
+			region.Advance(time.Hour)
+		}
+	}
+	if _, ok := db.IndexDef("ix_dead"); ok {
+		t.Fatal("dead index survived the drop loop")
+	}
+	dropped := false
+	for _, rec := range region.History("dead") {
+		if rec.Action.String() == "DROP INDEX" && rec.Index.Name == "ix_dead" &&
+			(rec.State == controlplane.StateSuccess || rec.State == controlplane.StateValidating) {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("no drop record reached validation")
+	}
+}
+
+// TestFailoverDuringLoop injects failovers mid-loop: the MI pipeline's
+// snapshot offsets must keep recommendations coming.
+func TestFailoverDuringLoop(t *testing.T) {
+	region := NewRegion(99)
+	db := region.NewDatabase("flaky", TierBasic)
+	mustExecI(t, db, `CREATE TABLE ev (id BIGINT NOT NULL, dev BIGINT, val FLOAT, PRIMARY KEY (id))`)
+	for i := 0; i < 2500; i++ {
+		mustExecI(t, db, fmt.Sprintf(`INSERT INTO ev (id, dev, val) VALUES (%d, %d, %d.5)`, i, i%250, i))
+	}
+	db.RebuildAllStats()
+	region.Manage(db, "srv", Settings{AutoCreate: true})
+
+	for h := 0; h < 48; h++ {
+		for q := 0; q < 15; q++ {
+			mustExecI(t, db, fmt.Sprintf(`SELECT id, val FROM ev WHERE dev = %d`, (h*13+q)%250))
+		}
+		if h%9 == 4 {
+			db.Failover()
+		}
+		region.Advance(time.Hour)
+	}
+	if db.Failovers() < 4 {
+		t.Fatalf("failovers: %d", db.Failovers())
+	}
+	implemented := false
+	for _, def := range db.IndexDefs() {
+		if def.AutoCreated {
+			implemented = true
+		}
+	}
+	if !implemented {
+		t.Fatal("failovers starved the MI pipeline")
+	}
+}
+
+// TestAggregatePolicyConfigurable verifies the §6 alternative policy is
+// wired through the control plane configuration.
+func TestAggregatePolicyConfigurable(t *testing.T) {
+	cfg := controlplane.DefaultConfig()
+	cfg.Validator.Policy = validate.PolicyAggregate
+	region := NewRegionWithConfig(5, cfg)
+	db := region.NewDatabase("agg", TierStandard)
+	mustExecI(t, db, `CREATE TABLE t (id BIGINT NOT NULL, a BIGINT, PRIMARY KEY (id))`)
+	for i := 0; i < 500; i++ {
+		mustExecI(t, db, fmt.Sprintf(`INSERT INTO t (id, a) VALUES (%d, %d)`, i, i%50))
+	}
+	db.RebuildAllStats()
+	region.Manage(db, "srv", Settings{AutoCreate: true})
+	for h := 0; h < 30; h++ {
+		for q := 0; q < 10; q++ {
+			mustExecI(t, db, fmt.Sprintf(`SELECT id FROM t WHERE a = %d`, q%50))
+		}
+		region.Advance(time.Hour)
+	}
+	for _, rec := range region.History("agg") {
+		if rec.Validation != nil && rec.Validation.Policy != validate.PolicyAggregate {
+			t.Fatalf("validation ran with wrong policy: %v", rec.Validation.Policy)
+		}
+	}
+}
+
+func mustExecI(t *testing.T, db *Database, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil && !errors.Is(err, engine.ErrIndexNotFound) {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,129 @@
+package binstance
+
+import (
+	"fmt"
+	"testing"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+func primary(t *testing.T) (*workload.Tenant, *sim.RNG) {
+	t.Helper()
+	clock := sim.NewClock()
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "prim", Tier: engine.TierStandard, Seed: 31,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn, sim.NewRNG(99)
+}
+
+func TestForkIsFaithfulSnapshot(t *testing.T) {
+	tn, rng := primary(t)
+	b := Fork(tn.DB, "b1", Config{}, rng)
+	for _, table := range tn.DB.TableNames() {
+		if b.DB.RowCount(table) != tn.DB.RowCount(table) {
+			t.Fatalf("row count mismatch on %s", table)
+		}
+	}
+	if len(b.DB.IndexDefs()) != len(tn.DB.IndexDefs()) {
+		t.Fatal("index defs differ")
+	}
+	if b.Divergence() != 0 {
+		t.Fatalf("fresh fork divergence %v", b.Divergence())
+	}
+	// Identical queries produce identical row counts.
+	table := tn.DB.TableNames()[0]
+	q := fmt.Sprintf(`SELECT COUNT(*) FROM %s`, table)
+	rp, err := tn.DB.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.DB.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Rows[0][0].I != rb.Rows[0][0].I {
+		t.Fatal("clone answers differently")
+	}
+}
+
+func TestIndependence(t *testing.T) {
+	tn, rng := primary(t)
+	b := Fork(tn.DB, "b2", Config{}, rng)
+	table := tn.DB.TableNames()[0]
+	def := schema.IndexDef{Name: "b_only", Table: table, KeyColumns: []string{"c0"}}
+	ti, _ := b.DB.Table(table)
+	def.KeyColumns = []string{ti.Def.Columns[1].Name}
+	if err := b.DB.CreateIndex(def, engine.IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tn.DB.IndexDef("b_only"); ok {
+		t.Fatal("B-instance index leaked to the primary")
+	}
+	// Writes to the B-instance never reach the primary.
+	before := tn.DB.RowCount(table)
+	b.Offer(fmt.Sprintf(`DELETE FROM %s WHERE id = 0`, table))
+	b.Flush()
+	if tn.DB.RowCount(table) != before {
+		t.Fatal("B-instance write affected the primary")
+	}
+}
+
+func TestBestEffortReplayDropsAndDiverges(t *testing.T) {
+	tn, rng := primary(t)
+	b := Fork(tn.DB, "b3", Config{DropProbability: 0.5}, rng)
+	table := tn.DB.TableNames()[0]
+	next := tn.DB.RowCount(table) + 1000000
+	for i := int64(0); i < 200; i++ {
+		sql := fmt.Sprintf(`DELETE FROM %s WHERE id = %d`, table, i)
+		tn.DB.Exec(sql) //nolint:errcheck
+		b.Offer(sql)
+		_ = next
+	}
+	b.Flush()
+	replayed, dropped := b.Stats()
+	if dropped == 0 {
+		t.Fatal("expected drops at 50% probability")
+	}
+	if replayed == 0 {
+		t.Fatal("expected some replays")
+	}
+	if b.Divergence() == 0 {
+		t.Fatal("dropped deletes must cause divergence")
+	}
+}
+
+func TestFailureIsolatesPrimary(t *testing.T) {
+	tn, rng := primary(t)
+	b := Fork(tn.DB, "b4", Config{FailProbability: 1}, rng)
+	table := tn.DB.TableNames()[0]
+	b.Offer(fmt.Sprintf(`SELECT COUNT(*) FROM %s`, table))
+	if !b.Failed() {
+		t.Fatal("B-instance should have failed")
+	}
+	// The primary continues normally.
+	if _, err := tn.DB.Exec(fmt.Sprintf(`SELECT COUNT(*) FROM %s`, table)); err != nil {
+		t.Fatalf("primary affected by B failure: %v", err)
+	}
+	// Further offers are ignored without error.
+	b.Offer(`SELECT 1 FROM x`)
+}
+
+func TestReorderingStillExecutes(t *testing.T) {
+	tn, rng := primary(t)
+	b := Fork(tn.DB, "b5", Config{ReorderProbability: 0.9}, rng)
+	table := tn.DB.TableNames()[0]
+	for i := 0; i < 100; i++ {
+		b.Offer(fmt.Sprintf(`SELECT COUNT(*) FROM %s`, table))
+	}
+	b.Flush()
+	replayed, _ := b.Stats()
+	if replayed != 100 {
+		t.Fatalf("replayed %d of 100 reordered statements", replayed)
+	}
+}

@@ -1,0 +1,138 @@
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the user-facing surface of §2: list current
+// recommendations, inspect details, apply one manually, and view the
+// history of actions with their measured impact — what the Azure portal,
+// REST API and T-SQL API expose.
+
+// ListRecommendations returns the Active recommendations for a database
+// (the Fig. 2 view).
+func (cp *ControlPlane) ListRecommendations(db string) []*Record {
+	return cp.store.Records(func(r *Record) bool {
+		return strings.EqualFold(r.Database, db) && r.State == StateActive
+	})
+}
+
+// History returns all non-Active records for a database, i.e. the history
+// of actions and their outcomes.
+func (cp *ControlPlane) History(db string) []*Record {
+	return cp.store.Records(func(r *Record) bool {
+		return strings.EqualFold(r.Database, db) && r.State != StateActive
+	})
+}
+
+// Details renders the detailed view of a recommendation (Fig. 3):
+// definition, estimated size/impact, and impacted statements.
+func (cp *ControlPlane) Details(recID string) (string, error) {
+	r, ok := cp.store.GetRecord(recID)
+	if !ok {
+		return "", fmt.Errorf("controlplane: no recommendation %q", recID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Describe())
+	fmt.Fprintf(&b, "  state: %s", r.State)
+	if r.SubState != "" {
+		fmt.Fprintf(&b, " (%s)", r.SubState)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  definition: %s\n", r.Index.String())
+	fmt.Fprintf(&b, "  estimated size: %.1f MB\n", float64(r.EstSizeBytes)/(1<<20))
+	fmt.Fprintf(&b, "  source: %s\n", r.Source)
+	if len(r.ImpactedQueries) > 0 {
+		fmt.Fprintf(&b, "  impacted statements: %d\n", len(r.ImpactedQueries))
+		if m, ok := cp.managedDB(r.Database); ok {
+			shown := 0
+			for _, q := range r.ImpactedQueries {
+				if e, ok := m.db.QueryStore().Query(q); ok {
+					fmt.Fprintf(&b, "    - %.90s\n", e.Text)
+					shown++
+				}
+				if shown >= 5 {
+					break
+				}
+			}
+		}
+	}
+	if r.Validation != nil {
+		fmt.Fprintf(&b, "  validation: %s\n", r.Validation.Describe())
+	}
+	return b.String(), nil
+}
+
+// Apply marks a recommendation for implementation on the user's behalf;
+// the system will implement and validate it even with auto-implement off
+// (§2: "the user can manually specify the system to apply a
+// recommendation which are validated by the system").
+func (cp *ControlPlane) Apply(recID string) error {
+	r, ok := cp.store.GetRecord(recID)
+	if !ok {
+		return fmt.Errorf("controlplane: no recommendation %q", recID)
+	}
+	if r.State != StateActive {
+		return fmt.Errorf("controlplane: recommendation %q is %s, not Active", recID, r.State)
+	}
+	r.UserRequested = true
+	return cp.store.SaveRecord(r)
+}
+
+// SetSettings updates a database's auto-implementation settings.
+func (cp *ControlPlane) SetSettings(db string, s Settings) error {
+	ds, ok := cp.store.GetDatabase(db)
+	if !ok {
+		return fmt.Errorf("controlplane: database %q not managed", db)
+	}
+	ds.Settings = s
+	return cp.store.SaveDatabase(ds)
+}
+
+// OperationalStats is the §8.1-style snapshot across managed databases.
+type OperationalStats struct {
+	Databases            int
+	CreateRecommended    int64
+	DropRecommended      int64
+	CreatesImplemented   int64
+	DropsImplemented     int64
+	Validations          int64
+	Reverts              int64
+	RevertRate           float64
+	WriteRegressionShare float64
+	Incidents            int64
+}
+
+// OpStats aggregates the current operational counters.
+func (cp *ControlPlane) OpStats() OperationalStats {
+	h := cp.hub
+	implemented := h.Counter("implemented.create") + h.Counter("implemented.drop")
+	reverts := h.Counter("reverts.triggered")
+	s := OperationalStats{
+		Databases:          len(cp.sortedManaged()),
+		CreateRecommended:  h.Counter("recommendations.create"),
+		DropRecommended:    h.Counter("recommendations.drop"),
+		CreatesImplemented: h.Counter("implemented.create"),
+		DropsImplemented:   h.Counter("implemented.drop"),
+		Validations:        h.Counter("validations"),
+		Reverts:            reverts,
+		Incidents:          h.Counter("incidents"),
+	}
+	if implemented > 0 {
+		s.RevertRate = float64(reverts) / float64(implemented)
+	}
+	if reverts > 0 {
+		s.WriteRegressionShare = float64(h.Counter("reverts.write_regression")) / float64(reverts)
+	}
+	return s
+}
+
+// String renders the stats like the paper's §8.1 narrative.
+func (s OperationalStats) String() string {
+	return fmt.Sprintf(
+		"databases=%d create-recs=%d drop-recs=%d implemented(create=%d drop=%d) validations=%d reverts=%d (%.1f%%, write-regression %.0f%%) incidents=%d",
+		s.Databases, s.CreateRecommended, s.DropRecommended,
+		s.CreatesImplemented, s.DropsImplemented,
+		s.Validations, s.Reverts, s.RevertRate*100, s.WriteRegressionShare*100, s.Incidents)
+}

@@ -1,0 +1,155 @@
+package controlplane
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"autoindex/internal/core"
+)
+
+// This file implements the §8.2 customer asks: control over *when* indexes
+// are implemented (maintenance windows), the naming scheme for auto-created
+// indexes, and the SaaS-vendor feature of surfacing indexes that are
+// beneficial across a significant fraction of a logical server's databases.
+
+// MaintenanceWindow restricts automatic implementation to a daily window
+// of local (virtual) hours. Zero value means "any time".
+type MaintenanceWindow struct {
+	// StartHour and EndHour bound the window [StartHour, EndHour) in
+	// 24-hour clock; StartHour == EndHour means no restriction. Windows
+	// may wrap midnight (e.g. 22 → 4).
+	StartHour, EndHour int
+}
+
+// Allows reports whether t falls inside the window.
+func (w MaintenanceWindow) Allows(t time.Time) bool {
+	if w.StartHour == w.EndHour {
+		return true
+	}
+	h := t.Hour()
+	if w.StartHour < w.EndHour {
+		return h >= w.StartHour && h < w.EndHour
+	}
+	// Wraps midnight.
+	return h >= w.StartHour || h < w.EndHour
+}
+
+// implementAllowedNow gates the implementation micro-service on the
+// configured window ("implementing indexes during low periods of activity
+// or on a pre-specified schedule", §8.2).
+func (cp *ControlPlane) implementAllowedNow() bool {
+	return cp.cfg.Maintenance.Allows(cp.clock.Now())
+}
+
+// applyNamingScheme rewrites an auto-created index name under the
+// customer's prefix ("naming scheme for indexes", §8.2). The rewritten
+// name is stored back on the record so validation and revert target the
+// real index.
+func (cp *ControlPlane) applyNamingScheme(name string) string {
+	prefix := cp.cfg.IndexNamePrefix
+	if prefix == "" {
+		return name
+	}
+	if strings.HasPrefix(strings.ToLower(name), strings.ToLower(prefix)) {
+		return name
+	}
+	out := prefix + name
+	if len(out) > 120 {
+		out = out[:120]
+	}
+	return out
+}
+
+// CrossDatabaseCandidate is an index shape recommended on several
+// databases of the same logical server.
+type CrossDatabaseCandidate struct {
+	Signature string
+	// Example is a representative recommendation (the index definition).
+	Example *Record
+	// Databases lists the databases with an Active recommendation of this
+	// shape; Fraction is their share of the server's databases.
+	Databases []string
+	Fraction  float64
+}
+
+// CrossDatabaseCandidates groups Active create recommendations across a
+// logical server's databases by index signature and returns shapes
+// recommended on at least minFraction of them — the §8.2 SaaS-vendor ask
+// ("only implement indexes that are beneficial for a significant fraction
+// of their databases"). Results are sorted by descending fraction.
+func (cp *ControlPlane) CrossDatabaseCandidates(server string, minFraction float64) []CrossDatabaseCandidate {
+	var serverDBs []string
+	for _, ds := range cp.store.Databases() {
+		if strings.EqualFold(ds.Server, server) {
+			serverDBs = append(serverDBs, ds.Name)
+		}
+	}
+	if len(serverDBs) == 0 {
+		return nil
+	}
+	inServer := make(map[string]bool, len(serverDBs))
+	for _, n := range serverDBs {
+		inServer[strings.ToLower(n)] = true
+	}
+	type group struct {
+		example *Record
+		dbs     map[string]bool
+	}
+	groups := make(map[string]*group)
+	for _, r := range cp.store.Records(func(r *Record) bool {
+		return r.State == StateActive && r.Action == core.ActionCreateIndex && inServer[strings.ToLower(r.Database)]
+	}) {
+		// Group by table-less shape: SaaS tenants share schemas, so the
+		// table + key + include shape identifies "the same index".
+		sig := r.Index.Signature()
+		g := groups[sig]
+		if g == nil {
+			g = &group{example: r, dbs: make(map[string]bool)}
+			groups[sig] = g
+		}
+		g.dbs[strings.ToLower(r.Database)] = true
+	}
+	var out []CrossDatabaseCandidate
+	for sig, g := range groups {
+		frac := float64(len(g.dbs)) / float64(len(serverDBs))
+		if frac < minFraction {
+			continue
+		}
+		dbs := make([]string, 0, len(g.dbs))
+		for n := range g.dbs {
+			dbs = append(dbs, n)
+		}
+		sort.Strings(dbs)
+		out = append(out, CrossDatabaseCandidate{
+			Signature: sig,
+			Example:   g.example,
+			Databases: dbs,
+			Fraction:  frac,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// ApplyAcross marks the candidate's recommendation Active→UserRequested on
+// every listed database, implementing the SaaS bulk-apply flow.
+func (cp *ControlPlane) ApplyAcross(c CrossDatabaseCandidate) error {
+	for _, r := range cp.store.Records(func(r *Record) bool {
+		return r.State == StateActive && r.Index.Signature() == c.Signature
+	}) {
+		for _, db := range c.Databases {
+			if strings.EqualFold(r.Database, db) {
+				if err := cp.Apply(r.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

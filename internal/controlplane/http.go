@@ -1,0 +1,96 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// HTTPHandler exposes the §2 management surface over REST, mirroring what
+// the Azure portal and REST API offer: list recommendations and history,
+// read details, apply a recommendation, and change a database's settings.
+//
+// Routes:
+//
+//	GET  /databases                         — managed databases + settings
+//	GET  /databases/{db}/recommendations    — Active recommendations (Fig. 2)
+//	GET  /databases/{db}/history            — action history with outcomes
+//	GET  /recommendations/{id}              — detail view (Fig. 3)
+//	POST /recommendations/{id}/apply        — user-initiated apply
+//	PUT  /databases/{db}/settings           — update settings (Fig. 1)
+//	GET  /opstats                           — §8.1 service counters
+func (cp *ControlPlane) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+
+	mux.HandleFunc("GET /databases", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cp.store.Databases())
+	})
+
+	mux.HandleFunc("GET /databases/{db}/recommendations", func(w http.ResponseWriter, r *http.Request) {
+		db := r.PathValue("db")
+		if _, ok := cp.store.GetDatabase(db); !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown database"})
+			return
+		}
+		writeJSON(w, http.StatusOK, cp.ListRecommendations(db))
+	})
+
+	mux.HandleFunc("GET /databases/{db}/history", func(w http.ResponseWriter, r *http.Request) {
+		db := r.PathValue("db")
+		if _, ok := cp.store.GetDatabase(db); !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown database"})
+			return
+		}
+		writeJSON(w, http.StatusOK, cp.History(db))
+	})
+
+	mux.HandleFunc("GET /recommendations/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rec, ok := cp.store.GetRecord(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown recommendation"})
+			return
+		}
+		detail, _ := cp.Details(id)
+		writeJSON(w, http.StatusOK, map[string]any{"record": rec, "detail": detail})
+	})
+
+	mux.HandleFunc("POST /recommendations/{id}/apply", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := cp.Apply(id); err != nil {
+			code := http.StatusConflict
+			if strings.Contains(err.Error(), "no recommendation") {
+				code = http.StatusNotFound
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "apply requested"})
+	})
+
+	mux.HandleFunc("PUT /databases/{db}/settings", func(w http.ResponseWriter, r *http.Request) {
+		db := r.PathValue("db")
+		var s Settings
+		if err := json.NewDecoder(r.Body).Decode(&s); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if err := cp.SetSettings(db, s); err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, s)
+	})
+
+	mux.HandleFunc("GET /opstats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cp.OpStats())
+	})
+
+	return mux
+}

@@ -1,0 +1,164 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/core"
+	"autoindex/internal/schema"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{
+		Recommendation: core.Recommendation{
+			ID: "r1", Database: "db1", Action: core.ActionCreateIndex,
+			Index: schema.IndexDef{Name: "ix", Table: "t", KeyColumns: []string{"a"}},
+		},
+		State:     StateImplementing,
+		UpdatedAt: time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+	if err := fs.SaveRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SaveDatabase(&DatabaseState{Name: "db1", Settings: Settings{AutoCreate: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SaveIncident(Incident{Database: "db1", Kind: "test"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same path resumes the state.
+	fs2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fs2.GetRecord("r1")
+	if !ok || got.State != StateImplementing || got.Index.Name != "ix" {
+		t.Fatalf("resumed record: %+v (%v)", got, ok)
+	}
+	ds, ok := fs2.GetDatabase("db1")
+	if !ok || !ds.Settings.AutoCreate {
+		t.Fatalf("resumed database: %+v", ds)
+	}
+	if len(fs2.Incidents()) != 1 {
+		t.Fatal("incident lost")
+	}
+}
+
+func TestFileStoreCorruptJournalRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(path); err == nil {
+		t.Fatal("corrupt journal must be rejected, not silently dropped")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestHTTPAPI(t *testing.T) {
+	h := newPlaneHarness(t, Settings{})
+	h.tick(t, 10, 20)
+	srv := httptest.NewServer(h.cp.HTTPHandler())
+	defer srv.Close()
+
+	get := func(path string, want int) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// Databases list.
+	var dbs []DatabaseState
+	if err := json.Unmarshal(get("/databases", 200), &dbs); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 1 || dbs[0].Name != "cpdb" {
+		t.Fatalf("databases: %+v", dbs)
+	}
+
+	// Recommendations.
+	var recs []Record
+	if err := json.Unmarshal(get("/databases/cpdb/recommendations", 200), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations over HTTP")
+	}
+	get("/databases/nope/recommendations", 404)
+
+	// Detail.
+	get("/recommendations/"+recs[0].ID, 200)
+	get("/recommendations/ghost", 404)
+
+	// Apply.
+	resp, err := http.Post(srv.URL+"/recommendations/"+recs[0].ID+"/apply", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("apply = %d", resp.StatusCode)
+	}
+	r, _ := h.cp.StateStore().GetRecord(recs[0].ID)
+	if !r.UserRequested {
+		t.Fatal("apply did not mark the record")
+	}
+	// Applying twice (still Active) is fine; applying a ghost 404s.
+	resp, _ = http.Post(srv.URL+"/recommendations/ghost/apply", "application/json", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost apply = %d", resp.StatusCode)
+	}
+
+	// Settings update.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/databases/cpdb/settings",
+		strings.NewReader(`{"AutoCreate": true, "AutoDrop": true}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("settings = %d", resp.StatusCode)
+	}
+	ds, _ := h.cp.StateStore().GetDatabase("cpdb")
+	if !ds.Settings.AutoCreate || !ds.Settings.AutoDrop {
+		t.Fatalf("settings not applied: %+v", ds.Settings)
+	}
+
+	// OpStats.
+	var stats OperationalStats
+	if err := json.Unmarshal(get("/opstats", 200), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Databases != 1 {
+		t.Fatalf("opstats: %+v", stats)
+	}
+}

@@ -1,0 +1,383 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"autoindex/internal/core"
+	"autoindex/internal/dropper"
+	"autoindex/internal/engine"
+	"autoindex/internal/mathx"
+	"autoindex/internal/recommend/dta"
+	"autoindex/internal/recommend/mi"
+	"autoindex/internal/sim"
+	"autoindex/internal/telemetry"
+	"autoindex/internal/validate"
+)
+
+// RecommenderPolicy decides which recommendation source to use for a
+// database (§5.1.1's "pre-configured policy": MI's low overhead suits
+// low-resource tiers, DTA's comprehensive analysis suits complex
+// higher-tier workloads).
+type RecommenderPolicy func(db *engine.Database) core.Source
+
+// DefaultPolicy: Premium databases get DTA, Basic get MI, Standard get DTA
+// once their workload is substantial enough to justify the overhead.
+func DefaultPolicy(db *engine.Database) core.Source {
+	switch db.Tier() {
+	case engine.TierPremium:
+		return core.SourceDTA
+	case engine.TierBasic:
+		return core.SourceMI
+	default:
+		if db.QueryStore().Len() >= 12 {
+			return core.SourceDTA
+		}
+		return core.SourceMI
+	}
+}
+
+// Config tunes the control plane.
+type Config struct {
+	SnapshotEvery     time.Duration
+	AnalyzeEvery      time.Duration
+	DropScanEvery     time.Duration
+	ValidationWindow  time.Duration
+	RecommendationTTL time.Duration
+	MaxRetries        int
+	RetryBackoff      time.Duration
+	StuckAfter        time.Duration
+
+	Validator validate.Config
+	Dropper   dropper.Config
+	MI        mi.Config
+	Policy    RecommenderPolicy
+	// MaxCreatesPerAnalysis bounds new create recommendations per run.
+	MaxCreatesPerAnalysis int
+	// Maintenance restricts automatic implementation to a daily window
+	// (§8.2: "implementing indexes during low periods of activity or on a
+	// pre-specified schedule"). Zero value = no restriction.
+	Maintenance MaintenanceWindow
+	// IndexNamePrefix, when set, prefixes every auto-created index name
+	// (§8.2: customers asked to control the naming scheme).
+	IndexNamePrefix string
+}
+
+// DefaultConfig returns production-like settings scaled for simulation.
+func DefaultConfig() Config {
+	return Config{
+		SnapshotEvery:         30 * time.Minute,
+		AnalyzeEvery:          6 * time.Hour,
+		DropScanEvery:         24 * time.Hour,
+		ValidationWindow:      12 * time.Hour,
+		RecommendationTTL:     7 * 24 * time.Hour,
+		MaxRetries:            3,
+		RetryBackoff:          15 * time.Minute,
+		StuckAfter:            48 * time.Hour,
+		Validator:             validate.DefaultConfig(),
+		Dropper:               dropper.DefaultConfig(),
+		MI:                    mi.DefaultConfig(),
+		Policy:                DefaultPolicy,
+		MaxCreatesPerAnalysis: 2,
+	}
+}
+
+// managed binds an engine database to its per-database recommender state.
+type managed struct {
+	db     *engine.Database
+	server string
+	miRec  *mi.Recommender
+}
+
+// ControlPlane drives the auto-indexing lifecycle for a region's
+// databases.
+type ControlPlane struct {
+	cfg   Config
+	clock sim.Clock
+	store Store
+	hub   *telemetry.Hub
+
+	mu     sync.Mutex
+	dbs    map[string]*managed
+	server map[string]ServerSettings
+	recSeq int64
+	// classifier is the fleet-wide low-impact classifier trained on
+	// validation outcomes across all managed databases (§5.2).
+	classifier *mathx.Logistic
+}
+
+// New creates a control plane.
+func New(cfg Config, clock sim.Clock, store Store, hub *telemetry.Hub) *ControlPlane {
+	if cfg.AnalyzeEvery == 0 {
+		cfg = DefaultConfig()
+	}
+	if hub == nil {
+		hub = telemetry.NewHub(0)
+	}
+	return &ControlPlane{
+		cfg:        cfg,
+		clock:      clock,
+		store:      store,
+		hub:        hub,
+		dbs:        make(map[string]*managed),
+		server:     make(map[string]ServerSettings),
+		classifier: mathx.NewLogistic(4),
+	}
+}
+
+// Telemetry exposes the hub.
+func (cp *ControlPlane) Telemetry() *telemetry.Hub { return cp.hub }
+
+// Store exposes the state store (read-mostly; for dashboards and tests).
+func (cp *ControlPlane) StateStore() Store { return cp.store }
+
+// SetServerSettings configures a logical server's defaults (§2).
+func (cp *ControlPlane) SetServerSettings(server string, s ServerSettings) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.server[server] = s
+}
+
+// Manage registers a database with the service. Every database in the
+// region is managed; settings control only whether recommendations are
+// auto-implemented.
+func (cp *ControlPlane) Manage(db *engine.Database, server string, settings Settings) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	m := &managed{db: db, server: server, miRec: mi.NewWithClassifier(db, cp.cfg.MI, cp.classifier)}
+	cp.dbs[strings.ToLower(db.Name())] = m
+	now := cp.clock.Now()
+	if ds, ok := cp.store.GetDatabase(db.Name()); ok {
+		// Re-attach after a control-plane restart: keep persisted state.
+		ds.Settings = settings
+		cp.store.SaveDatabase(ds)
+		return
+	}
+	cp.store.SaveDatabase(&DatabaseState{
+		Name:          db.Name(),
+		Server:        server,
+		Settings:      settings,
+		ObservedSince: now,
+	})
+}
+
+// managedDB fetches a managed database by name.
+func (cp *ControlPlane) managedDB(name string) (*managed, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	m, ok := cp.dbs[strings.ToLower(name)]
+	return m, ok
+}
+
+// sortedManaged returns managed databases in name order for determinism.
+func (cp *ControlPlane) sortedManaged() []*managed {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]*managed, 0, len(cp.dbs))
+	for _, m := range cp.dbs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].db.Name() < out[j].db.Name() })
+	return out
+}
+
+// Step advances every micro-service by one round. Fleet simulations
+// interleave Step with workload replay; RunLoop drives it on wall time.
+func (cp *ControlPlane) Step() {
+	cp.snapshotService()
+	cp.analysisService()
+	cp.dropScanService()
+	cp.implementService()
+	cp.validationService()
+	cp.revertService()
+	cp.expiryService()
+	cp.healthService()
+}
+
+// RunLoop drives Step every interval until stop is closed (for the daemon
+// binary running on a wall clock).
+func (cp *ControlPlane) RunLoop(interval time.Duration, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		cp.Step()
+		cp.clock.Sleep(interval)
+	}
+}
+
+// ---- micro-services ----
+
+// snapshotService takes periodic MI DMV snapshots (§5.2).
+func (cp *ControlPlane) snapshotService() {
+	now := cp.clock.Now()
+	for _, m := range cp.sortedManaged() {
+		ds, ok := cp.store.GetDatabase(m.db.Name())
+		if !ok {
+			continue
+		}
+		if now.Sub(ds.LastSnapshot) < cp.cfg.SnapshotEvery {
+			continue
+		}
+		m.miRec.TakeSnapshot()
+		ds.LastSnapshot = now
+		cp.store.SaveDatabase(ds)
+		cp.hub.Inc("snapshots", 1)
+	}
+}
+
+// analysisService invokes the configured recommender per database and
+// files Active create recommendations.
+func (cp *ControlPlane) analysisService() {
+	now := cp.clock.Now()
+	for _, m := range cp.sortedManaged() {
+		ds, ok := cp.store.GetDatabase(m.db.Name())
+		if !ok || now.Sub(ds.LastAnalysis) < cp.cfg.AnalyzeEvery {
+			continue
+		}
+		ds.LastAnalysis = now
+		source := cp.cfg.Policy(m.db)
+		var cands []core.Candidate
+		switch source {
+		case core.SourceDTA:
+			ds.DTASession = "running"
+			cp.store.SaveDatabase(ds)
+			opts := dta.OptionsForTier(m.db.Tier())
+			// Abort the session if it starts interfering with the user's
+			// workload (§5.3.1: wait statistics / blocked-process signals;
+			// here the engine's convoy counter is the interference proxy).
+			convoyAtStart := m.db.ConvoyBlockedStatements()
+			opts.AbortCheck = func() bool {
+				return m.db.ConvoyBlockedStatements() > convoyAtStart+10
+			}
+			res, err := dta.Run(m.db, opts)
+			if err != nil && !errors.Is(err, dta.ErrAborted) {
+				ds.DTASession = "error"
+				cp.store.SaveDatabase(ds)
+				cp.incident(m.db.Name(), "", "dta-session-failure", err.Error())
+				continue
+			}
+			if res != nil {
+				cands = res.Recommendations
+				cp.hub.Inc("dta.sessions", 1)
+				cp.hub.Inc("dta.whatif_calls", res.WhatIfCalls)
+				if res.Aborted {
+					cp.hub.Inc("dta.aborted", 1)
+				}
+			}
+			ds.DTASession = "completed"
+		default:
+			cands = m.miRec.Recommend()
+			cp.hub.Inc("mi.analyses", 1)
+		}
+		cp.store.SaveDatabase(ds)
+		created := 0
+		for _, c := range cands {
+			if cp.cfg.MaxCreatesPerAnalysis > 0 && created >= cp.cfg.MaxCreatesPerAnalysis {
+				break
+			}
+			if cp.fileCreateRecommendation(m, c, now) {
+				created++
+			}
+		}
+	}
+}
+
+// fileCreateRecommendation files one Active create recommendation unless a
+// live or succeeded duplicate exists.
+func (cp *ControlPlane) fileCreateRecommendation(m *managed, c core.Candidate, now time.Time) bool {
+	sig := c.Def.Signature()
+	dup := cp.store.Records(func(r *Record) bool {
+		if r.Database != m.db.Name() || r.Action != core.ActionCreateIndex {
+			return false
+		}
+		if r.Index.Signature() != sig && !strings.EqualFold(r.Index.Name, c.Def.Name) {
+			return false
+		}
+		// Live records block duplicates; so do successes (the index exists)
+		// and reverts (validation already proved this index regresses —
+		// re-implementing it would loop create/revert forever).
+		return !r.State.Terminal() || r.State == StateSuccess || r.State == StateReverted
+	})
+	if len(dup) > 0 {
+		return false
+	}
+	// Also skip if a structurally identical index already exists.
+	for _, e := range m.db.IndexDefs() {
+		if strings.EqualFold(e.Table, c.Def.Table) && e.SameKey(c.Def) {
+			return false
+		}
+	}
+	cp.mu.Lock()
+	cp.recSeq++
+	id := fmt.Sprintf("rec-%s-%06d", strings.ToLower(m.db.Name()), cp.recSeq)
+	cp.mu.Unlock()
+	rec := &Record{
+		Recommendation: core.Recommendation{
+			ID:                id,
+			Database:          m.db.Name(),
+			Action:            core.ActionCreateIndex,
+			Index:             c.Def,
+			EstImprovement:    c.EstImprovement,
+			EstImprovementPct: c.EstImprovementPct,
+			EstSizeBytes:      c.EstSizeBytes,
+			ImpactedQueries:   c.ImpactedQueries,
+			Source:            c.Source,
+			Features:          c.Features,
+			CreatedAt:         now,
+		},
+		State:     StateActive,
+		UpdatedAt: now,
+	}
+	cp.store.SaveRecord(rec)
+	cp.hub.Inc("recommendations.create", 1)
+	cp.hub.Emit(telemetry.Event{At: now, Database: m.db.Name(), Kind: "recommendation", Detail: "create " + c.Def.Name})
+	return true
+}
+
+// dropScanService runs the §5.4 drop analysis on its own cadence.
+func (cp *ControlPlane) dropScanService() {
+	now := cp.clock.Now()
+	for _, m := range cp.sortedManaged() {
+		ds, ok := cp.store.GetDatabase(m.db.Name())
+		if !ok || now.Sub(ds.LastDropScan) < cp.cfg.DropScanEvery {
+			continue
+		}
+		ds.LastDropScan = now
+		cp.store.SaveDatabase(ds)
+		for _, cand := range dropper.Analyze(m.db, ds.ObservedSince, cp.cfg.Dropper) {
+			dup := cp.store.Records(func(r *Record) bool {
+				return r.Database == m.db.Name() && r.Action == core.ActionDropIndex &&
+					strings.EqualFold(r.Index.Name, cand.Def.Name) && !r.State.Terminal()
+			})
+			if len(dup) > 0 {
+				continue
+			}
+			cp.mu.Lock()
+			cp.recSeq++
+			id := fmt.Sprintf("rec-%s-%06d", strings.ToLower(m.db.Name()), cp.recSeq)
+			cp.mu.Unlock()
+			rec := &Record{
+				Recommendation: core.Recommendation{
+					ID:        id,
+					Database:  m.db.Name(),
+					Action:    core.ActionDropIndex,
+					Index:     cand.Def,
+					Source:    core.SourceDrop,
+					CreatedAt: now,
+				},
+				State:     StateActive,
+				SubState:  string(cand.Reason),
+				UpdatedAt: now,
+			}
+			cp.store.SaveRecord(rec)
+			cp.hub.Inc("recommendations.drop", 1)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package controlplane
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"autoindex/internal/core"
+	"autoindex/internal/engine"
+	"autoindex/internal/telemetry"
+	"autoindex/internal/validate"
+)
+
+// nextAttemptDue reports whether a Retry record's backoff has elapsed.
+func (cp *ControlPlane) nextAttemptDue(r *Record, now time.Time) bool {
+	backoff := cp.cfg.RetryBackoff * time.Duration(1<<uint(minInt(r.Attempts, 6)))
+	return now.Sub(r.UpdatedAt) >= backoff
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// implementService implements Active recommendations whose database allows
+// it (auto-implement on, or the user requested it), and drives Retry
+// records back into their target step.
+func (cp *ControlPlane) implementService() {
+	if !cp.implementAllowedNow() {
+		// Outside the maintenance window: implementations wait (§8.2).
+		return
+	}
+	now := cp.clock.Now()
+	// Retry records first: resume the failed step after backoff.
+	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateRetry }) {
+		if !cp.nextAttemptDue(r, now) {
+			continue
+		}
+		target := r.RetryTarget
+		if target == "" {
+			target = StateImplementing
+		}
+		if err := r.Transition(target, now); err != nil {
+			continue
+		}
+		cp.store.SaveRecord(r)
+	}
+
+	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateActive }) {
+		m, ok := cp.managedDB(r.Database)
+		if !ok {
+			continue
+		}
+		ds, ok := cp.store.GetDatabase(r.Database)
+		if !ok {
+			continue
+		}
+		server := cp.serverSettings(ds.Server)
+		autoCreate, autoDrop := ds.Settings.Effective(server)
+		allowed := r.UserRequested ||
+			(r.Action == core.ActionCreateIndex && autoCreate) ||
+			(r.Action == core.ActionDropIndex && autoDrop)
+		if !allowed {
+			continue
+		}
+		if err := r.Transition(StateImplementing, now); err != nil {
+			continue
+		}
+		cp.store.SaveRecord(r)
+		cp.executeImplement(m, r)
+	}
+
+	// Records sitting in Implementing (e.g., resumed from Retry) execute.
+	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateImplementing }) {
+		if r.SubState == "executed" {
+			continue
+		}
+		m, ok := cp.managedDB(r.Database)
+		if !ok {
+			continue
+		}
+		cp.executeImplement(m, r)
+	}
+}
+
+func (cp *ControlPlane) serverSettings(server string) ServerSettings {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.server[server]
+}
+
+// executeImplement performs the index change for a record in
+// Implementing, classifying failures into Retry or terminal Error.
+func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
+	now := cp.clock.Now()
+	var err error
+	switch r.Action {
+	case core.ActionCreateIndex:
+		def := r.Index.Clone()
+		def.AutoCreated = true
+		def.Name = cp.applyNamingScheme(def.Name)
+		r.Index = def.Clone()
+		err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
+	case core.ActionDropIndex:
+		err = m.db.DropIndex(r.Index.Name, engine.DropIndexOptions{LowPriority: true})
+	}
+	now = cp.clock.Now() // index builds advance virtual time
+	if err != nil {
+		cp.handleImplementError(r, err, StateImplementing, now)
+		return
+	}
+	r.ImplementedAt = now
+	r.SubState = "executed"
+	if terr := r.Transition(StateValidating, now); terr != nil {
+		return
+	}
+	cp.store.SaveRecord(r)
+	if r.Action == core.ActionCreateIndex {
+		cp.hub.Inc("implemented.create", 1)
+	} else {
+		cp.hub.Inc("implemented.drop", 1)
+	}
+	cp.hub.Emit(telemetry.Event{At: now, Database: r.Database, Kind: "implemented", Detail: r.Action.String() + " " + r.Index.Name})
+}
+
+// handleImplementError applies the paper's error taxonomy: well-known
+// terminal conditions (index already exists, table/column dropped, index
+// dropped externally) become Error without an incident; transient errors
+// (lock timeout, log full) retry with backoff; exhausted retries raise an
+// incident.
+func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecState, now time.Time) {
+	r.LastError = err.Error()
+	switch {
+	case errors.Is(err, engine.ErrIndexExists),
+		errors.Is(err, engine.ErrIndexNotFound),
+		errors.Is(err, engine.ErrTableNotFound):
+		// Well-known terminal errors (§4): auto-processed, no incident.
+		r.SubState = "well-known-error"
+		_ = r.Transition(StateError, now)
+		cp.store.SaveRecord(r)
+		cp.hub.Inc("errors.terminal", 1)
+		return
+	case errors.Is(err, engine.ErrLockTimeout), errors.Is(err, engine.ErrLogFull):
+		r.Attempts++
+		if r.Attempts <= cp.cfg.MaxRetries {
+			r.RetryTarget = failedAt
+			r.SubState = "transient-error"
+			_ = r.Transition(StateRetry, now)
+			cp.store.SaveRecord(r)
+			cp.hub.Inc("errors.transient", 1)
+			return
+		}
+		fallthrough
+	default:
+		r.SubState = "unrecognized-error"
+		_ = r.Transition(StateError, now)
+		cp.store.SaveRecord(r)
+		cp.hub.Inc("errors.incident", 1)
+		cp.incident(r.Database, r.ID, "implementation-failure", err.Error())
+	}
+}
+
+// validationService validates records whose post-implementation window has
+// elapsed, reverting on detected regressions (§6).
+func (cp *ControlPlane) validationService() {
+	now := cp.clock.Now()
+	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateValidating }) {
+		if now.Sub(r.ImplementedAt) < cp.cfg.ValidationWindow {
+			continue
+		}
+		m, ok := cp.managedDB(r.Database)
+		if !ok {
+			continue
+		}
+		created := r.Action == core.ActionCreateIndex
+		outcome := validate.Validate(m.db.QueryStore(), r.Index.Name, created,
+			r.ImplementedAt, cp.cfg.ValidationWindow, cp.cfg.Validator)
+		r.Validation = &outcome
+		cp.hub.Inc("validations", 1)
+		// Feed the outcome back into the MI classifier (§5.2).
+		if r.Source == core.SourceMI && len(r.Features) > 0 {
+			m.miRec.TrainFromValidation(r.Features, outcome.Verdict == validate.VerdictImproved)
+		}
+		if outcome.Revert {
+			_ = r.Transition(StateReverting, now)
+			cp.store.SaveRecord(r)
+			cp.hub.Inc("reverts.triggered", 1)
+			cp.classifyRevert(m, r, &outcome)
+			continue
+		}
+		r.SubState = string("validated-" + outcome.Verdict.String())
+		_ = r.Transition(StateSuccess, now)
+		cp.store.SaveRecord(r)
+		cp.hub.Inc("validations.success", 1)
+		if outcome.Verdict == validate.VerdictImproved {
+			cp.hub.Inc("validations.improved", 1)
+		}
+	}
+}
+
+// classifyRevert attributes the revert cause for the §8.1 telemetry: MI
+// reverts skew to writes becoming more expensive (maintenance costs it
+// never modelled); SELECT regressions implicate optimizer estimation
+// error.
+func (cp *ControlPlane) classifyRevert(m *managed, r *Record, outcome *validate.Outcome) {
+	writeRegression := false
+	for _, qv := range outcome.Queries {
+		if qv.Verdict != validate.VerdictRegressed {
+			continue
+		}
+		if q, ok := m.db.QueryStore().Query(qv.QueryHash); ok && q.IsWrite {
+			writeRegression = true
+			break
+		}
+	}
+	if writeRegression {
+		cp.hub.Inc("reverts.write_regression", 1)
+		if r.Source == core.SourceMI {
+			cp.hub.Inc("reverts.write_regression.mi", 1)
+		}
+	} else {
+		cp.hub.Inc("reverts.select_regression", 1)
+	}
+}
+
+// revertService executes pending reverts: drop the created index or
+// recreate the dropped one, always at low lock priority with retries
+// (§8.3).
+func (cp *ControlPlane) revertService() {
+	now := cp.clock.Now()
+	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateReverting }) {
+		m, ok := cp.managedDB(r.Database)
+		if !ok {
+			continue
+		}
+		var err error
+		switch r.Action {
+		case core.ActionCreateIndex:
+			err = m.db.DropIndex(r.Index.Name, engine.DropIndexOptions{LowPriority: true})
+			if errors.Is(err, engine.ErrIndexNotFound) {
+				err = nil // dropped externally; revert goal already met
+			}
+		case core.ActionDropIndex:
+			def := r.Index.Clone()
+			err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
+			if errors.Is(err, engine.ErrIndexExists) {
+				err = nil
+			}
+		}
+		now = cp.clock.Now()
+		if err != nil {
+			cp.handleImplementError(r, err, StateReverting, now)
+			continue
+		}
+		_ = r.Transition(StateReverted, now)
+		cp.store.SaveRecord(r)
+		cp.hub.Inc("reverts.completed", 1)
+		cp.hub.Emit(telemetry.Event{At: now, Database: r.Database, Kind: "reverted", Detail: r.Index.Name})
+	}
+}
+
+// expiryService expires stale Active recommendations (age-based TTL) and
+// Active recommendations invalidated by a newer one on the same key
+// (§4's Expired state).
+func (cp *ControlPlane) expiryService() {
+	now := cp.clock.Now()
+	active := cp.store.Records(func(r *Record) bool { return r.State == StateActive })
+	for _, r := range active {
+		if now.Sub(r.CreatedAt) > cp.cfg.RecommendationTTL {
+			r.SubState = "aged-out"
+			_ = r.Transition(StateExpired, now)
+			cp.store.SaveRecord(r)
+			cp.hub.Inc("expired", 1)
+			continue
+		}
+		for _, newer := range active {
+			if newer.ID == r.ID || newer.Database != r.Database || !newer.CreatedAt.After(r.CreatedAt) {
+				continue
+			}
+			if newer.Action == r.Action && strings.EqualFold(newer.Index.Table, r.Index.Table) && newer.Index.SameKey(r.Index) {
+				r.SubState = "invalidated-by-" + newer.ID
+				_ = r.Transition(StateExpired, now)
+				cp.store.SaveRecord(r)
+				cp.hub.Inc("expired", 1)
+				break
+			}
+		}
+	}
+}
+
+// healthService detects stuck non-terminal records and raises incidents
+// with a final retry (§4's health micro-service).
+func (cp *ControlPlane) healthService() {
+	now := cp.clock.Now()
+	for _, r := range cp.store.Records(func(r *Record) bool {
+		return !r.State.Terminal() && r.State != StateActive
+	}) {
+		if now.Sub(r.UpdatedAt) <= cp.cfg.StuckAfter {
+			continue
+		}
+		cp.incident(r.Database, r.ID, "stuck-recommendation",
+			"record stuck in "+string(r.State)+" since "+r.UpdatedAt.Format(time.RFC3339))
+		r.Attempts++
+		if r.Attempts > cp.cfg.MaxRetries {
+			r.SubState = "stuck"
+			_ = r.Transition(StateError, now)
+		} else if r.State == StateImplementing || r.State == StateReverting {
+			r.RetryTarget = r.State
+			_ = r.Transition(StateRetry, now)
+		} else {
+			r.UpdatedAt = now
+		}
+		cp.store.SaveRecord(r)
+	}
+}
+
+func (cp *ControlPlane) incident(db, recID, kind, msg string) {
+	cp.store.SaveIncident(Incident{
+		At:       cp.clock.Now(),
+		Database: db,
+		RecID:    recID,
+		Kind:     kind,
+		Message:  msg,
+	})
+	cp.hub.Inc("incidents", 1)
+}

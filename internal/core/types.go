@@ -1,0 +1,242 @@
+// Package core defines the shared vocabulary of the auto-indexing service:
+// index candidates with estimated impact, recommendations and their
+// sources, conservative index merging [12], and workload coverage
+// (§5.1.2). Both recommenders produce core.Candidate values; the control
+// plane turns them into core.Recommendation records whose lifecycle it
+// drives.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"autoindex/internal/schema"
+)
+
+// Source identifies which recommender produced a candidate.
+type Source string
+
+// Recommendation sources.
+const (
+	SourceMI   Source = "MissingIndexes"
+	SourceDTA  Source = "DTA"
+	SourceDrop Source = "DropAnalysis"
+	SourceUser Source = "User"
+)
+
+// Candidate is an index creation candidate with its estimated impact.
+type Candidate struct {
+	Def schema.IndexDef
+	// EstImprovement is the optimizer-estimated cost-unit reduction over
+	// the analysis window.
+	EstImprovement float64
+	// EstImprovementPct is the estimated percentage improvement of the
+	// statements it impacts.
+	EstImprovementPct float64
+	EstSizeBytes      int64
+	// ImpactedQueries lists fingerprints of statements expected to improve
+	// (exposed in the recommendation details UI, Fig. 3).
+	ImpactedQueries []uint64
+	Source          Source
+	// Features feeds the MI low-impact classifier and, later, validation
+	// outcome training (§5.2).
+	Features []float64
+}
+
+// MergeImpacted unions two impacted-query lists.
+func MergeImpacted(a, b []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(a)+len(b))
+	var out []uint64
+	for _, lists := range [][]uint64{a, b} {
+		for _, q := range lists {
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Action is what a recommendation does.
+type Action int
+
+// Recommendation actions.
+const (
+	ActionCreateIndex Action = iota
+	ActionDropIndex
+)
+
+// String names the action.
+func (a Action) String() string {
+	if a == ActionDropIndex {
+		return "DROP INDEX"
+	}
+	return "CREATE INDEX"
+}
+
+// Recommendation is one unit of work the control plane manages.
+type Recommendation struct {
+	ID       string
+	Database string
+	Action   Action
+	Index    schema.IndexDef
+
+	EstImprovement    float64
+	EstImprovementPct float64
+	EstSizeBytes      int64
+	ImpactedQueries   []uint64
+	Source            Source
+	Features          []float64
+
+	CreatedAt time.Time
+}
+
+// Describe renders the one-line UI summary (Fig. 2).
+func (r *Recommendation) Describe() string {
+	return fmt.Sprintf("%s %s ON %s (%s)%s — est. impact %.1f%%",
+		r.Action, r.Index.Name, r.Index.Table,
+		strings.Join(r.Index.KeyColumns, ", "),
+		includeSuffix(r.Index), r.EstImprovementPct)
+}
+
+func includeSuffix(d schema.IndexDef) string {
+	if len(d.IncludedColumns) == 0 {
+		return ""
+	}
+	return " INCLUDE (" + strings.Join(d.IncludedColumns, ", ") + ")"
+}
+
+// ConservativeMerge merges creation candidates as §5.2 describes: exact
+// duplicates pool their benefit; a candidate whose key columns are a
+// prefix of another's is folded into the longer one (its include columns
+// unioned in) when the merged index's aggregate benefit is at least that
+// of the better single candidate. Merging never invents new key orders —
+// that is what keeps it conservative.
+func ConservativeMerge(cands []Candidate) []Candidate {
+	// Pass 1: pool exact structural duplicates.
+	bySig := make(map[string]*Candidate)
+	var order []string
+	for _, c := range cands {
+		sig := c.Def.Signature()
+		if ex, ok := bySig[sig]; ok {
+			ex.EstImprovement += c.EstImprovement
+			if c.EstImprovementPct > ex.EstImprovementPct {
+				ex.EstImprovementPct = c.EstImprovementPct
+			}
+			ex.ImpactedQueries = MergeImpacted(ex.ImpactedQueries, c.ImpactedQueries)
+			continue
+		}
+		cc := c
+		cc.Def = c.Def.Clone()
+		bySig[sig] = &cc
+		order = append(order, sig)
+	}
+	list := make([]*Candidate, 0, len(order))
+	for _, sig := range order {
+		list = append(list, bySig[sig])
+	}
+
+	// Pass 2: fold key-prefix candidates into their extensions.
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(list); i++ {
+			for j := 0; j < len(list); j++ {
+				if i == j || list[i] == nil || list[j] == nil {
+					continue
+				}
+				a, b := list[i], list[j]
+				if !strings.EqualFold(a.Def.Table, b.Def.Table) {
+					continue
+				}
+				if !a.Def.KeyPrefixOf(b.Def) || a.Def.SameKey(b.Def) {
+					continue
+				}
+				// Fold a into b: b's key covers a's seeks; union includes.
+				combined := b.EstImprovement + a.EstImprovement
+				if combined < maxf(a.EstImprovement, b.EstImprovement) {
+					continue
+				}
+				b.Def.IncludedColumns = unionColumns(b.Def, a.Def.IncludedColumns)
+				// Key columns of a beyond its own key never exist (prefix),
+				// but a's range column may be b's later key column — already
+				// covered by the prefix rule.
+				b.EstImprovement = combined
+				if a.EstImprovementPct > b.EstImprovementPct {
+					b.EstImprovementPct = a.EstImprovementPct
+				}
+				b.ImpactedQueries = MergeImpacted(b.ImpactedQueries, a.ImpactedQueries)
+				list[i] = nil
+				merged = true
+			}
+		}
+		if merged {
+			compact := list[:0]
+			for _, c := range list {
+				if c != nil {
+					compact = append(compact, c)
+				}
+			}
+			list = compact
+		}
+	}
+	out := make([]Candidate, 0, len(list))
+	for _, c := range list {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstImprovement != out[j].EstImprovement {
+			return out[i].EstImprovement > out[j].EstImprovement
+		}
+		return out[i].Def.Signature() < out[j].Def.Signature()
+	})
+	return out
+}
+
+// unionColumns adds cols to d's include list, skipping any column already
+// present as key or include.
+func unionColumns(d schema.IndexDef, cols []string) []string {
+	out := append([]string(nil), d.IncludedColumns...)
+	for _, c := range cols {
+		if !d.HasColumn(c) {
+			out = append(out, c)
+			d.IncludedColumns = append(d.IncludedColumns, c) // keep HasColumn current
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Coverage is the workload-coverage measure (§5.1.2): the resources
+// consumed by analyzed statements as a fraction of all resources.
+type Coverage struct {
+	AnalyzedCPU float64
+	TotalCPU    float64
+}
+
+// Fraction returns the coverage in [0, 1].
+func (c Coverage) Fraction() float64 {
+	if c.TotalCPU <= 0 {
+		return 0
+	}
+	f := c.AnalyzedCPU / c.TotalCPU
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// String renders the coverage as a percentage.
+func (c Coverage) String() string {
+	return fmt.Sprintf("%.1f%%", c.Fraction()*100)
+}

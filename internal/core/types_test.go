@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"autoindex/internal/schema"
+)
+
+func cand(table string, keys, incl []string, imp float64) Candidate {
+	return Candidate{
+		Def: schema.IndexDef{
+			Name: "ix_" + strings.Join(keys, "_"), Table: table,
+			KeyColumns: keys, IncludedColumns: incl,
+		},
+		EstImprovement: imp,
+	}
+}
+
+func TestMergeExactDuplicatesPoolBenefit(t *testing.T) {
+	a := cand("t", []string{"x"}, []string{"y"}, 10)
+	a.ImpactedQueries = []uint64{1}
+	b := cand("t", []string{"x"}, []string{"y"}, 5)
+	b.ImpactedQueries = []uint64{2}
+	out := ConservativeMerge([]Candidate{a, b})
+	if len(out) != 1 {
+		t.Fatalf("merged to %d", len(out))
+	}
+	if out[0].EstImprovement != 15 {
+		t.Fatalf("benefit = %v", out[0].EstImprovement)
+	}
+	if len(out[0].ImpactedQueries) != 2 {
+		t.Fatalf("impacted: %v", out[0].ImpactedQueries)
+	}
+}
+
+func TestMergePrefixFoldsIntoExtension(t *testing.T) {
+	short := cand("t", []string{"a"}, []string{"inc1"}, 8)
+	long := cand("t", []string{"a", "b"}, []string{"inc2"}, 10)
+	out := ConservativeMerge([]Candidate{short, long})
+	if len(out) != 1 {
+		t.Fatalf("want 1 candidate, got %d", len(out))
+	}
+	m := out[0]
+	if len(m.Def.KeyColumns) != 2 {
+		t.Fatalf("merged keys: %v", m.Def.KeyColumns)
+	}
+	if !m.Def.HasColumn("inc1") || !m.Def.HasColumn("inc2") {
+		t.Fatalf("merged includes: %v", m.Def.IncludedColumns)
+	}
+	if m.EstImprovement != 18 {
+		t.Fatalf("merged benefit: %v", m.EstImprovement)
+	}
+}
+
+func TestMergeNeverInventsKeyOrders(t *testing.T) {
+	x := cand("t", []string{"a"}, nil, 5)
+	y := cand("t", []string{"b"}, nil, 5)
+	out := ConservativeMerge([]Candidate{x, y})
+	if len(out) != 2 {
+		t.Fatalf("unrelated keys must not merge: %d", len(out))
+	}
+	// Different tables never merge.
+	z := cand("u", []string{"a", "b"}, nil, 5)
+	out = ConservativeMerge([]Candidate{x, z})
+	if len(out) != 2 {
+		t.Fatal("cross-table merge")
+	}
+}
+
+func TestMergeChain(t *testing.T) {
+	// a → ab → abc should collapse into one candidate.
+	out := ConservativeMerge([]Candidate{
+		cand("t", []string{"a"}, nil, 1),
+		cand("t", []string{"a", "b"}, nil, 2),
+		cand("t", []string{"a", "b", "c"}, nil, 3),
+	})
+	if len(out) != 1 || len(out[0].Def.KeyColumns) != 3 {
+		t.Fatalf("chain merge: %+v", out)
+	}
+	if out[0].EstImprovement != 6 {
+		t.Fatalf("chain benefit: %v", out[0].EstImprovement)
+	}
+}
+
+func TestMergeOutputSorted(t *testing.T) {
+	out := ConservativeMerge([]Candidate{
+		cand("t", []string{"low"}, nil, 1),
+		cand("t", []string{"high"}, nil, 100),
+	})
+	if out[0].EstImprovement < out[1].EstImprovement {
+		t.Fatal("output must be sorted by benefit")
+	}
+}
+
+func TestMergeIncludeNoKeyDuplicates(t *testing.T) {
+	short := cand("t", []string{"a"}, []string{"b"}, 5)
+	long := cand("t", []string{"a", "b"}, nil, 5)
+	out := ConservativeMerge([]Candidate{short, long})
+	if len(out) != 1 {
+		t.Fatalf("got %d", len(out))
+	}
+	// "b" is a key of the merged index; it must not reappear as include.
+	for _, inc := range out[0].Def.IncludedColumns {
+		if strings.EqualFold(inc, "b") {
+			t.Fatalf("key column duplicated as include: %v", out[0].Def)
+		}
+	}
+}
+
+func TestMergeImpactedDedupes(t *testing.T) {
+	got := MergeImpacted([]uint64{3, 1, 2}, []uint64{2, 4})
+	if len(got) != 4 {
+		t.Fatalf("%v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	c := Coverage{AnalyzedCPU: 80, TotalCPU: 100}
+	if c.Fraction() != 0.8 {
+		t.Fatalf("fraction = %v", c.Fraction())
+	}
+	if c.String() != "80.0%" {
+		t.Fatalf("string = %q", c.String())
+	}
+	if (Coverage{}).Fraction() != 0 {
+		t.Fatal("empty coverage")
+	}
+	over := Coverage{AnalyzedCPU: 120, TotalCPU: 100}
+	if over.Fraction() != 1 {
+		t.Fatal("coverage clamps at 1")
+	}
+}
+
+func TestRecommendationDescribe(t *testing.T) {
+	r := Recommendation{
+		Action: ActionCreateIndex,
+		Index: schema.IndexDef{
+			Name: "ix1", Table: "orders",
+			KeyColumns: []string{"a"}, IncludedColumns: []string{"b"},
+		},
+		EstImprovementPct: 42.5,
+	}
+	d := r.Describe()
+	if !strings.Contains(d, "CREATE INDEX") || !strings.Contains(d, "INCLUDE (b)") || !strings.Contains(d, "42.5%") {
+		t.Fatalf("describe: %s", d)
+	}
+}

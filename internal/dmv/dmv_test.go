@@ -1,0 +1,133 @@
+package dmv
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestMissingIndexAccumulation(t *testing.T) {
+	s := NewMissingIndexStore()
+	c := Candidate{Table: "orders", Equality: []string{"customer_id"}, Include: []string{"amount"}}
+	s.Observe(c, 101, 10, 50, t0)
+	s.Observe(c, 101, 20, 70, t0.Add(time.Minute))
+	s.Observe(c, 102, 30, 60, t0.Add(2*time.Minute))
+
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("entries: %d", len(snap))
+	}
+	e := snap[0]
+	if e.Seeks != 3 {
+		t.Fatalf("seeks = %d", e.Seeks)
+	}
+	if e.AvgQueryCost != 20 {
+		t.Fatalf("avg cost = %v", e.AvgQueryCost)
+	}
+	if e.AvgImprovementPct != 60 {
+		t.Fatalf("avg improvement = %v", e.AvgImprovementPct)
+	}
+	if len(e.QueryHashes) != 2 || e.QueryHashes[101] != 2 {
+		t.Fatalf("query hashes: %+v", e.QueryHashes)
+	}
+	if e.Score() <= 0 {
+		t.Fatal("score")
+	}
+}
+
+func TestCandidateKeyCanonical(t *testing.T) {
+	a := Candidate{Table: "T", Equality: []string{"B", "a"}}
+	b := Candidate{Table: "t", Equality: []string{"a", "b"}}
+	if a.Key() != b.Key() {
+		t.Fatal("keys must canonicalise column order and case")
+	}
+	c := Candidate{Table: "t", Equality: []string{"a"}, Inequality: []string{"b"}}
+	if a.Key() == c.Key() {
+		t.Fatal("equality vs inequality must differ")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := NewMissingIndexStore()
+	s.Observe(Candidate{Table: "t", Equality: []string{"a"}}, 1, 10, 50, t0)
+	snap := s.Snapshot()
+	snap[0].Seeks = 999
+	snap[0].Candidate.Equality[0] = "mutated"
+	snap2 := s.Snapshot()
+	if snap2[0].Seeks != 1 || snap2[0].Candidate.Equality[0] != "a" {
+		t.Fatal("snapshot aliases store state")
+	}
+}
+
+func TestResetClearsAndCounts(t *testing.T) {
+	s := NewMissingIndexStore()
+	s.Observe(Candidate{Table: "t", Equality: []string{"a"}}, 1, 10, 50, t0)
+	if s.Len() != 1 {
+		t.Fatal("len")
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Resets() != 1 {
+		t.Fatal("reset")
+	}
+}
+
+func TestSnapshotOrderByScore(t *testing.T) {
+	s := NewMissingIndexStore()
+	low := Candidate{Table: "t", Equality: []string{"low"}}
+	high := Candidate{Table: "t", Equality: []string{"high"}}
+	s.Observe(low, 1, 1, 10, t0)
+	for i := 0; i < 10; i++ {
+		s.Observe(high, 2, 100, 90, t0)
+	}
+	snap := s.Snapshot()
+	if snap[0].Candidate.Equality[0] != "high" {
+		t.Fatal("snapshot must order by descending score")
+	}
+}
+
+func TestTrackedQueryCap(t *testing.T) {
+	s := NewMissingIndexStore()
+	c := Candidate{Table: "t", Equality: []string{"a"}}
+	for i := 0; i < maxTrackedQueries*2; i++ {
+		s.Observe(c, uint64(i), 1, 10, t0)
+	}
+	snap := s.Snapshot()
+	if len(snap[0].QueryHashes) > maxTrackedQueries {
+		t.Fatalf("query tracking unbounded: %d", len(snap[0].QueryHashes))
+	}
+	if snap[0].Seeks != int64(maxTrackedQueries*2) {
+		t.Fatal("seeks must still count everything")
+	}
+}
+
+func TestIndexUsageStore(t *testing.T) {
+	s := NewIndexUsageStore()
+	s.RecordSeek("IX_a", "t", t0)
+	s.RecordSeek("ix_A", "t", t0.Add(time.Minute)) // case-insensitive merge
+	s.RecordScan("ix_a", "t", t0.Add(2*time.Minute))
+	s.RecordLookup("ix_a", "t", t0.Add(3*time.Minute))
+	s.RecordUpdate("ix_a", "t")
+
+	u, ok := s.Usage("IX_A")
+	if !ok {
+		t.Fatal("usage row missing")
+	}
+	if u.Seeks != 2 || u.Scans != 1 || u.Lookups != 1 || u.Updates != 1 {
+		t.Fatalf("usage: %+v", u)
+	}
+	if u.Reads() != 4 {
+		t.Fatalf("reads = %d", u.Reads())
+	}
+	if !u.LastRead.Equal(t0.Add(3 * time.Minute)) {
+		t.Fatalf("last read: %v", u.LastRead)
+	}
+	all := s.All()
+	if len(all) != 1 {
+		t.Fatalf("all: %+v", all)
+	}
+	s.Forget("ix_a")
+	if _, ok := s.Usage("ix_a"); ok {
+		t.Fatal("forget failed")
+	}
+}

@@ -1,0 +1,158 @@
+// Package dmv reimplements the SQL Server dynamic management views the
+// auto-indexing service consumes: the Missing-Index DMVs [34] populated by
+// the optimizer during query optimization, and the index usage statistics
+// (dm_db_index_usage_stats) that the drop-index analysis and the User
+// baseline emulation read (§5.4, §7.3). Missing-index state is volatile —
+// it resets on failover or schema change — which is why the recommender
+// snapshots it periodically (§5.2).
+package dmv
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Candidate is one missing-index candidate exactly as the MI feature
+// exposes it: the columns used in equality predicates, inequality
+// predicates, and the columns needed upstream in the plan (INCLUDE).
+type Candidate struct {
+	Table      string
+	Equality   []string
+	Inequality []string
+	Include    []string
+}
+
+// Key returns a canonical identity for accumulation.
+func (c Candidate) Key() string {
+	return strings.ToLower(c.Table) + "|" +
+		canonList(c.Equality) + "|" + canonList(c.Inequality) + "|" + canonList(c.Include)
+}
+
+func canonList(cols []string) string {
+	s := make([]string, len(cols))
+	for i, c := range cols {
+		s[i] = strings.ToLower(c)
+	}
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// Entry is the accumulated DMV row for one candidate.
+type Entry struct {
+	Candidate Candidate
+	// Seeks counts optimizations that would have used the index (the
+	// DMV's user_seeks analog).
+	Seeks int64
+	// AvgQueryCost is the average optimizer-estimated cost of the queries
+	// that triggered the candidate.
+	AvgQueryCost float64
+	// AvgImprovementPct is the optimizer's estimated percentage
+	// improvement were the index to exist (avg_user_impact analog).
+	AvgImprovementPct float64
+	// QueryHashes maps triggering query fingerprints to trigger counts
+	// (capped), letting the recommender expose impacted statements.
+	QueryHashes map[uint64]int64
+	FirstSeen   time.Time
+	LastSeen    time.Time
+}
+
+// Score is the DMV's standard impact formula:
+// seeks * avg cost * (improvement/100).
+func (e *Entry) Score() float64 {
+	return float64(e.Seeks) * e.AvgQueryCost * e.AvgImprovementPct / 100
+}
+
+func (e *Entry) clone() *Entry {
+	out := *e
+	out.Candidate.Equality = append([]string(nil), e.Candidate.Equality...)
+	out.Candidate.Inequality = append([]string(nil), e.Candidate.Inequality...)
+	out.Candidate.Include = append([]string(nil), e.Candidate.Include...)
+	out.QueryHashes = make(map[uint64]int64, len(e.QueryHashes))
+	for k, v := range e.QueryHashes {
+		out.QueryHashes[k] = v
+	}
+	return &out
+}
+
+// maxTrackedQueries caps per-entry query tracking, mirroring the DMV's
+// bounded memory.
+const maxTrackedQueries = 64
+
+// MissingIndexStore accumulates candidates like the MI DMVs.
+type MissingIndexStore struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	resets  int64
+}
+
+// NewMissingIndexStore returns an empty store.
+func NewMissingIndexStore() *MissingIndexStore {
+	return &MissingIndexStore{entries: make(map[string]*Entry)}
+}
+
+// Observe records that optimizing queryHash (with estimated cost cost)
+// surfaced candidate c with estimated improvement pct.
+func (s *MissingIndexStore) Observe(c Candidate, queryHash uint64, cost, improvementPct float64, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := c.Key()
+	e := s.entries[k]
+	if e == nil {
+		e = &Entry{Candidate: c, QueryHashes: make(map[uint64]int64), FirstSeen: now}
+		s.entries[k] = e
+	}
+	// Running averages over seeks.
+	n := float64(e.Seeks)
+	e.AvgQueryCost = (e.AvgQueryCost*n + cost) / (n + 1)
+	e.AvgImprovementPct = (e.AvgImprovementPct*n + improvementPct) / (n + 1)
+	e.Seeks++
+	e.LastSeen = now
+	if _, ok := e.QueryHashes[queryHash]; ok || len(e.QueryHashes) < maxTrackedQueries {
+		e.QueryHashes[queryHash]++
+	}
+}
+
+// Snapshot returns a deep copy of the current entries, sorted by
+// descending score. The recommender persists these snapshots to tolerate
+// resets (§5.2).
+func (s *MissingIndexStore) Snapshot() []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Score(), out[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Candidate.Key() < out[j].Candidate.Key()
+	})
+	return out
+}
+
+// Reset clears the store, as a server restart, failover or schema change
+// does to the real DMVs.
+func (s *MissingIndexStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*Entry)
+	s.resets++
+}
+
+// Resets reports how many times the store has been reset.
+func (s *MissingIndexStore) Resets() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resets
+}
+
+// Len returns the number of distinct candidates currently accumulated.
+func (s *MissingIndexStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,112 @@
+package dmv
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IndexUsage mirrors one row of sys.dm_db_index_usage_stats: how often an
+// index served seeks, scans and lookups versus how often it had to be
+// maintained by writes. The drop-index analysis (§5.4) looks for indexes
+// with high Updates and negligible reads; the User-baseline emulation
+// (§7.3) looks for the most read-beneficial indexes.
+type IndexUsage struct {
+	Index    string
+	Table    string
+	Seeks    int64
+	Scans    int64
+	Lookups  int64
+	Updates  int64
+	LastRead time.Time
+}
+
+// Reads returns total read accesses.
+func (u IndexUsage) Reads() int64 { return u.Seeks + u.Scans + u.Lookups }
+
+// IndexUsageStore accumulates usage per index.
+type IndexUsageStore struct {
+	mu      sync.Mutex
+	entries map[string]*IndexUsage // key: lower(index name)
+}
+
+// NewIndexUsageStore returns an empty store.
+func NewIndexUsageStore() *IndexUsageStore {
+	return &IndexUsageStore{entries: make(map[string]*IndexUsage)}
+}
+
+func (s *IndexUsageStore) entry(index, table string) *IndexUsage {
+	k := strings.ToLower(index)
+	e := s.entries[k]
+	if e == nil {
+		e = &IndexUsage{Index: index, Table: table}
+		s.entries[k] = e
+	}
+	return e
+}
+
+// RecordSeek counts an index seek.
+func (s *IndexUsageStore) RecordSeek(index, table string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(index, table)
+	e.Seeks++
+	e.LastRead = now
+}
+
+// RecordScan counts an index scan.
+func (s *IndexUsageStore) RecordScan(index, table string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(index, table)
+	e.Scans++
+	e.LastRead = now
+}
+
+// RecordLookup counts a key/RID lookup into the index (for a clustered
+// index, lookups from non-covering secondary seeks).
+func (s *IndexUsageStore) RecordLookup(index, table string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(index, table)
+	e.Lookups++
+	e.LastRead = now
+}
+
+// RecordUpdate counts index maintenance caused by a write.
+func (s *IndexUsageStore) RecordUpdate(index, table string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entry(index, table).Updates++
+}
+
+// Usage returns a copy of the usage row for index, if any.
+func (s *IndexUsageStore) Usage(index string) (IndexUsage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[strings.ToLower(index)]
+	if !ok {
+		return IndexUsage{}, false
+	}
+	return *e, true
+}
+
+// All returns a copy of every usage row, sorted by index name.
+func (s *IndexUsageStore) All() []IndexUsage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]IndexUsage, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Forget removes the row for a dropped index.
+func (s *IndexUsageStore) Forget(index string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, strings.ToLower(index))
+}

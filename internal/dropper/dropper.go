@@ -1,0 +1,171 @@
+// Package dropper implements the drop-index analysis (§5.4). Rather than
+// being workload-driven, it conservatively mines the engine's long-horizon
+// index usage statistics for (a) indexes that are maintained by writes but
+// essentially never read, and (b) duplicate indexes (identical key columns
+// in identical order). It excludes indexes referenced by query hints or
+// forced plans and indexes enforcing application constraints — dropping
+// those could break the application.
+package dropper
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"autoindex/internal/core"
+	"autoindex/internal/dmv"
+	"autoindex/internal/engine"
+	"autoindex/internal/schema"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// MinAge is how long an index must have existed (and been observed)
+	// before it can be judged; the paper retains statistics over a long
+	// period (e.g., 60 days) before deciding.
+	MinAge time.Duration
+	// MaxReadsPerDay is the read-rate ceiling for an "unused" index.
+	MaxReadsPerDay float64
+	// MinUpdates is the minimum maintenance burden before an unused index
+	// is worth dropping.
+	MinUpdates int64
+}
+
+// DefaultConfig returns production-like settings (scaled for simulation).
+func DefaultConfig() Config {
+	return Config{
+		MinAge:         48 * time.Hour,
+		MaxReadsPerDay: 0.5,
+		MinUpdates:     50,
+	}
+}
+
+// Reason explains why an index is a drop candidate.
+type Reason string
+
+// Drop reasons.
+const (
+	ReasonUnused    Reason = "unused: maintained by writes but not read"
+	ReasonDuplicate Reason = "duplicate: identical key columns as another index"
+)
+
+// DropCandidate is one index the analysis proposes to drop.
+type DropCandidate struct {
+	Def    schema.IndexDef
+	Reason Reason
+	Usage  dmv.IndexUsage
+	// DuplicateOf names the surviving index for duplicates.
+	DuplicateOf string
+}
+
+// ToRecommendation converts the candidate to a control-plane
+// recommendation payload.
+func (c DropCandidate) ToRecommendation(db string, now time.Time) core.Recommendation {
+	return core.Recommendation{
+		Database:  db,
+		Action:    core.ActionDropIndex,
+		Index:     c.Def,
+		Source:    core.SourceDrop,
+		CreatedAt: now,
+	}
+}
+
+// Analyze scans the database's usage statistics for drop candidates.
+// observedSince is when usage observation began (drops need a long
+// observation window to protect weekly/monthly report queries, §5.4).
+func Analyze(db *engine.Database, observedSince time.Time, cfg Config) []DropCandidate {
+	if cfg.MinAge == 0 {
+		cfg = DefaultConfig()
+	}
+	now := db.Clock().Now()
+	observedFor := now.Sub(observedSince)
+	if observedFor < cfg.MinAge {
+		return nil // not enough history to be safe
+	}
+	days := observedFor.Hours() / 24
+	if days <= 0 {
+		days = 1
+	}
+
+	defs := db.IndexDefs()
+	var out []DropCandidate
+
+	// (a) Unused but maintained indexes.
+	for _, def := range defs {
+		if def.Kind == schema.Clustered || def.Hinted || def.EnforcesConstraint || def.Hypothetical {
+			continue
+		}
+		u, ok := db.UsageDMV().Usage(def.Name)
+		if !ok {
+			// Never touched at all: unused only if writes would maintain it;
+			// absent usage rows mean no reads AND no writes — skip (zero
+			// maintenance burden).
+			continue
+		}
+		readsPerDay := float64(u.Reads()) / days
+		if readsPerDay <= cfg.MaxReadsPerDay && u.Updates >= cfg.MinUpdates {
+			out = append(out, DropCandidate{Def: def, Reason: ReasonUnused, Usage: u})
+		}
+	}
+
+	// (b) Duplicate indexes: group by key signature, keep the best one.
+	byKey := make(map[string][]schema.IndexDef)
+	for _, def := range defs {
+		if def.Kind == schema.Clustered || def.Hypothetical {
+			continue
+		}
+		k := strings.ToLower(def.Table) + "|" + strings.ToLower(strings.Join(def.KeyColumns, ","))
+		byKey[k] = append(byKey[k], def)
+	}
+	already := make(map[string]bool, len(out))
+	for _, c := range out {
+		already[strings.ToLower(c.Def.Name)] = true
+	}
+	var groups []string
+	for k, g := range byKey {
+		if len(g) > 1 {
+			groups = append(groups, k)
+		}
+	}
+	sort.Strings(groups)
+	for _, k := range groups {
+		group := byKey[k]
+		// Keep the widest (most includes), preferring hinted/constraint/user
+		// indexes; drop the rest.
+		sort.SliceStable(group, func(i, j int) bool {
+			pi, pj := dupPriority(group[i]), dupPriority(group[j])
+			if pi != pj {
+				return pi > pj
+			}
+			return len(group[i].IncludedColumns) > len(group[j].IncludedColumns)
+		})
+		keeper := group[0]
+		for _, def := range group[1:] {
+			if def.Hinted || def.EnforcesConstraint || already[strings.ToLower(def.Name)] {
+				continue
+			}
+			u, _ := db.UsageDMV().Usage(def.Name)
+			out = append(out, DropCandidate{
+				Def: def, Reason: ReasonDuplicate, Usage: u, DuplicateOf: keeper.Name,
+			})
+			already[strings.ToLower(def.Name)] = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
+	return out
+}
+
+// dupPriority ranks which duplicate to keep: constraint-enforcing and
+// hinted indexes are never dropped, user indexes beat auto-created ones.
+func dupPriority(d schema.IndexDef) int {
+	switch {
+	case d.EnforcesConstraint:
+		return 3
+	case d.Hinted:
+		return 2
+	case !d.AutoCreated:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,141 @@
+package dropper
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+)
+
+func buildDB(t *testing.T) (*engine.Database, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewClock()
+	db := engine.New(engine.DefaultConfig("droptest", engine.TierStandard, 9), clock)
+	if _, err := db.Exec(`CREATE TABLE logs (id BIGINT NOT NULL, kind BIGINT, size BIGINT, note VARCHAR, PRIMARY KEY (id))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			`INSERT INTO logs (id, kind, size, note) VALUES (%d, %d, %d, 'n%d')`, i, i%20, i%100, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RebuildAllStats()
+	return db, clock
+}
+
+func addIndex(t *testing.T, db *engine.Database, def schema.IndexDef) {
+	t.Helper()
+	if err := db.CreateIndex(def, engine.IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// churnWrites generates index maintenance without reads.
+func churnWrites(t *testing.T, db *engine.Database, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`UPDATE logs SET size = %d WHERE id = %d`, i, i%1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnusedMaintainedIndexIsCandidate(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_unused", Table: "logs", KeyColumns: []string{"size"}})
+	churnWrites(t, db, 100)
+	clock.Advance(72 * time.Hour)
+	cands := Analyze(db, since, DefaultConfig())
+	if len(cands) != 1 || cands[0].Def.Name != "ix_unused" || cands[0].Reason != ReasonUnused {
+		t.Fatalf("candidates: %+v", cands)
+	}
+}
+
+func TestReadIndexesProtected(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_used", Table: "logs", KeyColumns: []string{"kind"}})
+	churnWrites(t, db, 100)
+	// Regular reads keep it alive.
+	for d := 0; d < 4; d++ {
+		for i := 0; i < 5; i++ {
+			if _, err := db.Exec(fmt.Sprintf(`SELECT id FROM logs WHERE kind = %d`, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clock.Advance(24 * time.Hour)
+	}
+	for _, c := range Analyze(db, since, DefaultConfig()) {
+		if c.Def.Name == "ix_used" {
+			t.Fatalf("read index proposed for drop: %+v", c)
+		}
+	}
+}
+
+func TestMinAgeGuard(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_new", Table: "logs", KeyColumns: []string{"size"}})
+	churnWrites(t, db, 100)
+	clock.Advance(time.Hour) // far below MinAge
+	if cands := Analyze(db, since, DefaultConfig()); len(cands) != 0 {
+		t.Fatalf("too-young observation window must yield nothing: %+v", cands)
+	}
+}
+
+func TestDuplicateIndexesDetected(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_a", Table: "logs", KeyColumns: []string{"kind"}, IncludedColumns: []string{"size"}})
+	addIndex(t, db, schema.IndexDef{Name: "ix_a_dup", Table: "logs", KeyColumns: []string{"kind"}, AutoCreated: true})
+	// Keep both "alive" with reads so the unused rule does not fire.
+	for i := 0; i < 10; i++ {
+		db.Exec(fmt.Sprintf(`SELECT id FROM logs WHERE kind = %d`, i)) //nolint:errcheck
+	}
+	clock.Advance(72 * time.Hour)
+	cands := Analyze(db, since, DefaultConfig())
+	var dup *DropCandidate
+	for i := range cands {
+		if cands[i].Reason == ReasonDuplicate {
+			dup = &cands[i]
+		}
+	}
+	if dup == nil {
+		t.Fatalf("duplicate not detected: %+v", cands)
+	}
+	// The auto-created, include-less copy should be the drop; the wider
+	// user index survives.
+	if dup.Def.Name != "ix_a_dup" || dup.DuplicateOf != "ix_a" {
+		t.Fatalf("wrong duplicate choice: %+v", dup)
+	}
+}
+
+func TestHintedAndConstraintIndexesExcluded(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_hinted", Table: "logs", KeyColumns: []string{"size"}})
+	if err := db.MarkIndexHinted("ix_hinted"); err != nil {
+		t.Fatal(err)
+	}
+	addIndex(t, db, schema.IndexDef{Name: "ix_constraint", Table: "logs", KeyColumns: []string{"note"}, EnforcesConstraint: true})
+	churnWrites(t, db, 100)
+	clock.Advance(72 * time.Hour)
+	for _, c := range Analyze(db, since, DefaultConfig()) {
+		if c.Def.Name == "ix_hinted" || c.Def.Name == "ix_constraint" {
+			t.Fatalf("protected index proposed for drop: %+v", c)
+		}
+	}
+	// Hinted duplicates also survive duplicate analysis.
+	addIndex(t, db, schema.IndexDef{Name: "ix_hinted_dup", Table: "logs", KeyColumns: []string{"size"}})
+	clock.Advance(24 * time.Hour)
+	for _, c := range Analyze(db, since, DefaultConfig()) {
+		if c.Def.Name == "ix_hinted" {
+			t.Fatalf("hinted index dropped as duplicate: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+)
+
+func TestCloneIsIndependentSnapshot(t *testing.T) {
+	d, _ := testDB(t)
+	mustExec(t, d, `CREATE INDEX ix_clone ON orders (customer_id)`)
+	c := d.Clone("copy")
+
+	// Identical answers at fork time.
+	q := `SELECT COUNT(*) FROM orders WHERE status = 'open'`
+	a := mustExec(t, d, q)
+	b, err := c.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0][0].I != b.Rows[0][0].I {
+		t.Fatalf("clone diverges at fork: %v vs %v", a.Rows[0][0], b.Rows[0][0])
+	}
+	if _, ok := c.IndexDef("ix_clone"); !ok {
+		t.Fatal("clone lost an index")
+	}
+
+	// Mutations do not cross.
+	mustExec(t, d, `DELETE FROM orders WHERE id = 1`)
+	if c.RowCount("orders") != 500 {
+		t.Fatal("primary delete leaked into clone")
+	}
+	if _, err := c.Exec(`DELETE FROM orders WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if d.RowCount("orders") != 499 {
+		t.Fatal("clone delete leaked into primary")
+	}
+	if err := c.DropIndex("ix_clone", DropIndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.IndexDef("ix_clone"); !ok {
+		t.Fatal("clone index drop leaked into primary")
+	}
+
+	// Clone has fresh telemetry surfaces.
+	if c.QueryStore() == d.QueryStore() || c.MissingIndexDMV() == d.MissingIndexDMV() {
+		t.Fatal("clone shares telemetry stores with primary")
+	}
+}
+
+func TestModuleMetadataRecovery(t *testing.T) {
+	d, _ := testDB(t)
+	body := `SELECT id, amount FROM orders WHERE customer_id = 5 AND status = 'open' AND amount > 10`
+	if err := d.RegisterModule("usp_busy_orders", body); err != nil {
+		t.Fatal(err)
+	}
+	stmt := mustParse(t, body)
+	text, ok := d.ModuleText(stmt.Fingerprint())
+	if !ok || text != body {
+		t.Fatalf("module lookup: %q %v", text, ok)
+	}
+	// Parameterised executions share the fingerprint.
+	alt := mustParse(t, `SELECT id, amount FROM orders WHERE customer_id = 99 AND status = 'x' AND amount > 0`)
+	if _, ok := d.ModuleText(alt.Fingerprint()); !ok {
+		t.Fatal("parameterised form must resolve to the module")
+	}
+	if len(d.Modules()) != 1 {
+		t.Fatalf("modules: %v", d.Modules())
+	}
+	if err := d.RegisterModule("bad", "NOT SQL"); err == nil {
+		t.Fatal("unparseable module body must be rejected")
+	}
+}
+
+func TestMeasurementNoiseIsSeededButVaried(t *testing.T) {
+	d1, _ := testDB(t)
+	// Same statement twice: logical reads identical (deterministic), CPU
+	// noisy.
+	a := mustExec(t, d1, `SELECT COUNT(*) FROM orders WHERE status = 'open'`)
+	b := mustExec(t, d1, `SELECT COUNT(*) FROM orders WHERE status = 'open'`)
+	if a.Measured.LogicalReads != b.Measured.LogicalReads {
+		t.Fatalf("logical reads must be deterministic: %v vs %v",
+			a.Measured.LogicalReads, b.Measured.LogicalReads)
+	}
+	if a.Measured.CPUMillis == b.Measured.CPUMillis {
+		t.Log("CPU identical across runs (possible but unlikely with noise)")
+	}
+}
+
+func TestStatsStalenessRefresh(t *testing.T) {
+	d, _ := testDB(t)
+	st1, ok := d.ColumnStats("orders", "customer_id")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	// Grow the table by more than the refresh fraction: stats must rebuild.
+	for i := 0; i < 300; i++ {
+		mustExec(t, d, fmt.Sprintf(
+			`INSERT INTO orders (id, customer_id, status, amount, created) VALUES (%d, %d, 'grown', 1.5, %d)`,
+			10000+i, 500+i, i))
+	}
+	st2, ok := d.ColumnStats("orders", "customer_id")
+	if !ok {
+		t.Fatal("no stats after growth")
+	}
+	if st2.RowCount <= st1.RowCount {
+		t.Fatalf("stats did not refresh: %v -> %v rows", st1.RowCount, st2.RowCount)
+	}
+}
+
+func TestHeapTablesSupported(t *testing.T) {
+	clock := testClock()
+	d := New(DefaultConfig("heapdb", TierBasic, 3), clock)
+	// No PRIMARY KEY: a heap.
+	mustExec(t, d, `CREATE TABLE raw (a BIGINT, b VARCHAR, grp BIGINT)`)
+	for i := 0; i < 4000; i++ {
+		mustExec(t, d, fmt.Sprintf(`INSERT INTO raw (a, b, grp) VALUES (%d, 'v%d', %d)`, i, i, i%20))
+	}
+	d.RebuildAllStats()
+	res := mustExec(t, d, `SELECT COUNT(*) FROM raw WHERE grp = 3`)
+	if res.Rows[0][0].I != 200 {
+		t.Fatalf("heap query: %v", res.Rows[0][0])
+	}
+	// Secondary index on a heap uses RID locators; a selective predicate
+	// makes the seek win despite RID-lookup costs.
+	if err := d.CreateIndex(schema.IndexDef{Name: "ix_raw_a", Table: "raw", KeyColumns: []string{"a"}}, IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+	res = mustExec(t, d, `SELECT b FROM raw WHERE a = 3`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("heap index seek: %d rows", len(res.Rows))
+	}
+	if !planUses(res.Plan, "ix_raw_a") {
+		t.Fatalf("heap seek plan:\n%s", res.Plan.Explain())
+	}
+	// Update + delete via the index-maintained path.
+	mustExec(t, d, `UPDATE raw SET b = 'changed' WHERE a = 3`)
+	res = mustExec(t, d, `SELECT COUNT(*) FROM raw WHERE grp = 3`)
+	if res.Rows[0][0].I != 200 {
+		t.Fatalf("heap update broke data: %v", res.Rows[0][0])
+	}
+	del := mustExec(t, d, `DELETE FROM raw WHERE grp = 3`)
+	if del.RowsAffected != 200 {
+		t.Fatalf("heap delete: %d", del.RowsAffected)
+	}
+	if d.RowCount("raw") != 3800 {
+		t.Fatalf("row count after delete: %d", d.RowCount("raw"))
+	}
+}
+
+func testClock() *sim.VirtualClock { return sim.NewClock() }

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"autoindex/internal/executor"
+	"autoindex/internal/optimizer"
+	"autoindex/internal/sqlparser"
+	"autoindex/internal/value"
+)
+
+// compile turns a plan subtree into an executable source with its output
+// layout.
+func (d *Database) compile(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	switch n.Kind {
+	case optimizer.KindSeqScan, optimizer.KindIndexScan, optimizer.KindIndexSeek:
+		if strings.EqualFold(n.Index, optimizer.ClusteredIndexName(n.Table)) {
+			t, ok := d.tables[strings.ToLower(n.Table)]
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: unknown table %q", n.Table)
+			}
+			return d.compileClusteredSeek(n, t, meter)
+		}
+		return d.compileAccess(n, meter)
+	case optimizer.KindNLJoin:
+		return d.compileNLJoin(n, meter)
+	case optimizer.KindHashJoin:
+		return d.compileHashJoin(n, meter)
+	case optimizer.KindHashAgg, optimizer.KindScalarAgg:
+		return d.compileAgg(n, meter)
+	case optimizer.KindSort:
+		return d.compileSort(n, meter)
+	case optimizer.KindTop:
+		src, lay, err := d.compile(n.Children[0], meter)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &executor.Top{Child: src, N: n.TopN}, lay, nil
+	case optimizer.KindProject:
+		return d.compileProject(n, meter)
+	default:
+		return nil, nil, fmt.Errorf("engine: cannot compile %v", n.Kind)
+	}
+}
+
+func (d *Database) compileNLJoin(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	outerSrc, outerLay, err := d.compile(n.Children[0], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	inner := n.Children[1]
+	outerIdx := outerLay.find(n.JoinLeft.Table, n.JoinLeft.Column)
+	if outerIdx < 0 {
+		return nil, nil, fmt.Errorf("engine: join column %s not in outer layout", n.JoinLeft)
+	}
+	// Determine the inner layout once with a probe compilation.
+	probeNode := innerSeekNode(inner, n.JoinRight, value.NewNull())
+	_, innerLay, err := d.compile(probeNode, &executor.Meter{})
+	if err != nil {
+		return nil, nil, err
+	}
+	bind := func(key value.Value) executor.Source {
+		node := innerSeekNode(inner, n.JoinRight, key)
+		src, _, err := d.compile(node, meter)
+		if err != nil {
+			return &executor.SliceSource{}
+		}
+		return src
+	}
+	join := &executor.NLJoin{Outer: outerSrc, OuterCol: outerIdx, Bind: bind, Meter: meter}
+	return join, concatLayouts(outerLay, innerLay), nil
+}
+
+// innerSeekNode builds the per-probe seek node for an NL-join inner.
+func innerSeekNode(inner *optimizer.Node, joinCol sqlparser.ColRef, key value.Value) *optimizer.Node {
+	eq := sqlparser.Predicate{
+		Col: sqlparser.ColRef{Table: inner.Alias, Column: joinCol.Column},
+		Op:  sqlparser.OpEQ,
+		Val: key,
+	}
+	return &optimizer.Node{
+		Kind:     optimizer.KindIndexSeek,
+		Table:    inner.Table,
+		Alias:    inner.Alias,
+		Index:    inner.Index,
+		SeekEq:   []sqlparser.Predicate{eq},
+		Residual: inner.Residual,
+		Lookup:   inner.Lookup,
+	}
+}
+
+func (d *Database) compileHashJoin(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	probeSrc, probeLay, err := d.compile(n.Children[0], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	buildSrc, buildLay, err := d.compile(n.Children[1], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	probeIdx := probeLay.find(n.JoinLeft.Table, n.JoinLeft.Column)
+	buildIdx := buildLay.find(n.JoinRight.Table, n.JoinRight.Column)
+	if probeIdx < 0 || buildIdx < 0 {
+		return nil, nil, fmt.Errorf("engine: hash join columns %s/%s not found", n.JoinLeft, n.JoinRight)
+	}
+	join := &executor.HashJoin{
+		Probe: probeSrc, Build: buildSrc,
+		ProbeCol: probeIdx, BuildCol: buildIdx,
+		Meter: meter,
+	}
+	return join, concatLayouts(probeLay, buildLay), nil
+}
+
+func aggKind(f sqlparser.AggFunc) executor.AggKind {
+	switch f {
+	case sqlparser.AggCount:
+		return executor.AggCountStar
+	case sqlparser.AggCountCol:
+		return executor.AggCountCol
+	case sqlparser.AggSum:
+		return executor.AggSum
+	case sqlparser.AggAvg:
+		return executor.AggAvg
+	case sqlparser.AggMin:
+		return executor.AggMin
+	case sqlparser.AggMax:
+		return executor.AggMax
+	default:
+		return executor.AggKey
+	}
+}
+
+func (d *Database) compileAgg(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	src, childLay, err := d.compile(n.Children[0], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	var groupCols []int
+	for _, g := range n.GroupBy {
+		idx := childLay.find(g.Table, g.Column)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("engine: group-by column %s not found", g)
+		}
+		groupCols = append(groupCols, idx)
+	}
+	outLay := &layout{}
+	var specs []executor.AggSpec
+	keyOrder := 0
+	for _, it := range n.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregation")
+		}
+		if it.Agg == sqlparser.AggNone {
+			// Must be a grouping column; emit its key position.
+			idx := childLay.find(it.Col.Table, it.Col.Column)
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("engine: column %s not found", it.Col)
+			}
+			// Align the AggKey with the matching group column.
+			pos := -1
+			for gi, gc := range groupCols {
+				if gc == idx {
+					pos = gi
+					break
+				}
+			}
+			if pos < 0 {
+				return nil, nil, fmt.Errorf("engine: column %s not in GROUP BY", it.Col)
+			}
+			specs = append(specs, executor.AggSpec{Kind: executor.AggKey, Col: pos})
+			outLay.cols = append(outLay.cols, layoutCol{alias: strings.ToLower(it.Col.Table), name: strings.ToLower(it.Col.Column)})
+			keyOrder++
+			continue
+		}
+		colIdx := 0
+		if it.Agg != sqlparser.AggCount {
+			colIdx = childLay.find(it.Col.Table, it.Col.Column)
+			if colIdx < 0 {
+				return nil, nil, fmt.Errorf("engine: aggregate column %s not found", it.Col)
+			}
+		}
+		specs = append(specs, executor.AggSpec{Kind: aggKind(it.Agg), Col: colIdx})
+		outLay.cols = append(outLay.cols, layoutCol{name: strings.ToLower(it.SQL())})
+	}
+	agg := &executor.HashAgg{Child: src, GroupCols: groupCols, Specs: specs, Meter: meter}
+	return agg, outLay, nil
+}
+
+// keyedHashAggRender: the executor's HashAgg renders AggKey by consuming
+// group key values in order; our spec's Col for AggKey is the position in
+// the group key, which matches that behaviour.
+
+func (d *Database) compileSort(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	src, lay, err := d.compile(n.Children[0], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	type ord struct {
+		idx  int
+		desc bool
+	}
+	var ords []ord
+	for _, ob := range n.OrderBy {
+		idx := lay.find(ob.Col.Table, ob.Col.Column)
+		if idx < 0 {
+			// After aggregation the column may be addressable by rendered
+			// name (e.g. ORDER BY an aggregate is unsupported; plain columns
+			// keep their names).
+			return nil, nil, fmt.Errorf("engine: order-by column %s not found", ob.Col)
+		}
+		ords = append(ords, ord{idx: idx, desc: ob.Desc})
+	}
+	less := func(a, b value.Row) bool {
+		for _, o := range ords {
+			c := value.Compare(a[o.idx], b[o.idx])
+			if c == 0 {
+				continue
+			}
+			if o.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	return &executor.Sort{Child: src, Less: less, Meter: meter}, lay, nil
+}
+
+func (d *Database) compileProject(n *optimizer.Node, meter *executor.Meter) (executor.Source, *layout, error) {
+	src, childLay, err := d.compile(n.Children[0], meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	outLay := &layout{}
+	var idxs []int
+	for _, it := range n.Items {
+		switch {
+		case it.Star:
+			for i, c := range childLay.cols {
+				if c.name == ridColName {
+					continue
+				}
+				idxs = append(idxs, i)
+				outLay.cols = append(outLay.cols, c)
+			}
+		case it.Agg != sqlparser.AggNone:
+			idx := childLay.find("", it.SQL())
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("engine: projected aggregate %s not found", it.SQL())
+			}
+			idxs = append(idxs, idx)
+			outLay.cols = append(outLay.cols, childLay.cols[idx])
+		default:
+			idx := childLay.find(it.Col.Table, it.Col.Column)
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("engine: projected column %s not found", it.Col)
+			}
+			idxs = append(idxs, idx)
+			outLay.cols = append(outLay.cols, childLay.cols[idx])
+		}
+	}
+	fn := func(r value.Row) value.Row {
+		out := make(value.Row, len(idxs))
+		for i, idx := range idxs {
+			out[i] = r[idx]
+		}
+		return out
+	}
+	return &executor.Project{Child: src, Fn: fn, Meter: meter}, outLay, nil
+}

@@ -1,0 +1,69 @@
+package engine
+
+// Concurrency: the control plane's micro-services, replayers and B-instance
+// forks can touch a database from multiple goroutines. Statement execution
+// serializes on the database mutex; catalog reads, Query Store and DMV
+// stores have their own synchronization. This test hammers one database
+// from many goroutines (run with -race to make it bite).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	d, _ := testDB(t)
+	mustExec(t, d, `CREATE INDEX ix_conc ON orders (customer_id)`)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var sql string
+				switch (g + i) % 4 {
+				case 0:
+					sql = fmt.Sprintf(`SELECT id FROM orders WHERE customer_id = %d`, i%50)
+				case 1:
+					sql = fmt.Sprintf(`UPDATE orders SET amount = %d.5 WHERE id = %d`, i, (g*40+i)%500)
+				case 2:
+					sql = fmt.Sprintf(`SELECT COUNT(*) FROM orders WHERE status = 'open'`)
+				default:
+					sql = fmt.Sprintf(`INSERT INTO orders (id, customer_id, status, amount, created) VALUES (%d, %d, 'conc', 1.5, %d)`,
+						100000+g*1000+i, i%50, i)
+				}
+				if _, err := d.Exec(sql); err != nil {
+					errs <- fmt.Errorf("g%d i%d %q: %w", g, i, sql, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent readers of catalog/DMV/Query Store surfaces.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.IndexDefs()
+				d.MissingIndexDMV().Snapshot()
+				d.UsageDMV().All()
+				d.QueryStore().Len()
+				d.Table("orders")
+				d.ColumnStats("orders", "customer_id")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The database is still coherent.
+	res := mustExec(t, d, `SELECT COUNT(*) FROM orders WHERE status = 'conc'`)
+	if res.Rows[0][0].I != 8*10 {
+		t.Fatalf("concurrent inserts lost: %v", res.Rows[0][0])
+	}
+}

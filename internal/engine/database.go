@@ -1,0 +1,504 @@
+// Package engine implements the database engine the auto-indexing service
+// manages: tables stored in heaps or clustered B+ trees, non-clustered
+// secondary indexes, a lock manager with managed lock priorities, online
+// index builds with log-space accounting, column statistics with
+// staleness, and statement execution that records true costs into Query
+// Store and missing-index candidates into the MI DMVs. It is the
+// SQL Server stand-in for the reproduction; see DESIGN.md §1.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"autoindex/internal/btree"
+	"autoindex/internal/dmv"
+	"autoindex/internal/optimizer"
+	"autoindex/internal/querystore"
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+	"autoindex/internal/stats"
+	"autoindex/internal/storage"
+	"autoindex/internal/value"
+)
+
+// Tier models the Azure SQL Database service tiers the paper's policy
+// dispatches on (§5.1.1): Basic databases get the lightweight MI
+// recommender, Premium databases the comprehensive DTA analysis.
+type Tier int
+
+// Service tiers.
+const (
+	TierBasic Tier = iota
+	TierStandard
+	TierPremium
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierBasic:
+		return "Basic"
+	case TierStandard:
+		return "Standard"
+	default:
+		return "Premium"
+	}
+}
+
+// CPUCores returns the tier's CPU allocation (Basic has less than a core,
+// as in the paper's fourth challenge).
+func (t Tier) CPUCores() float64 {
+	switch t {
+	case TierBasic:
+		return 0.5
+	case TierStandard:
+		return 2
+	default:
+		return 8
+	}
+}
+
+// Config tunes a database instance.
+type Config struct {
+	Name string
+	Tier Tier
+	// Seed drives all of this database's randomness.
+	Seed int64
+	// NoiseCV is the coefficient of variation of measurement noise.
+	NoiseCV float64
+	// StatsSampleRate is the sampling rate for automatic statistics
+	// (re)builds; lower rates mean cheaper but less accurate estimates.
+	StatsSampleRate float64
+	// StatsRefreshFraction triggers an automatic statistics rebuild for a
+	// column once the table's row count drifts by this fraction from the
+	// count at build time.
+	StatsRefreshFraction float64
+	// QueryStoreInterval is the Query Store aggregation interval.
+	QueryStoreInterval time.Duration
+	// TruncateTextOver simulates Query Store storing incomplete text for
+	// long statements (§5.3.2); 0 disables truncation.
+	TruncateTextOver int
+	// LogSpaceBytes bounds the transaction log available to an index
+	// build before it must pause (resumable) or fail (§8.3).
+	LogSpaceBytes int64
+}
+
+// DefaultConfig returns a sensible configuration for the tier.
+func DefaultConfig(name string, tier Tier, seed int64) Config {
+	cfg := Config{
+		Name:                 name,
+		Tier:                 tier,
+		Seed:                 seed,
+		NoiseCV:              0.12,
+		StatsSampleRate:      0.25,
+		StatsRefreshFraction: 0.20,
+		QueryStoreInterval:   querystore.DefaultInterval,
+		TruncateTextOver:     220,
+		LogSpaceBytes:        256 << 20,
+	}
+	switch tier {
+	case TierBasic:
+		cfg.StatsSampleRate = 0.10
+		cfg.LogSpaceBytes = 32 << 20
+	case TierStandard:
+		cfg.StatsSampleRate = 0.20
+		cfg.LogSpaceBytes = 128 << 20
+	}
+	return cfg
+}
+
+// Database is one managed database instance.
+type Database struct {
+	cfg   Config
+	clock sim.Clock
+	rng   *sim.RNG
+	noise *sim.Noise
+
+	mu      sync.RWMutex
+	tables  map[string]*tableData // lower(name)
+	indexes map[string]*indexData // lower(name)
+	colStat map[string]*stats.ColumnStats
+
+	qs      *querystore.Store
+	miDMV   *dmv.MissingIndexStore
+	usage   *dmv.IndexUsageStore
+	locks   *LockManager
+	planTxt map[uint64]string // plan-cache: full text by query hash
+
+	bulkSources map[string]BulkSource
+	modules     *moduleCatalog
+
+	failovers     int64
+	schemaChanges int64
+	convoyBlocked int64
+	execCount     int64
+}
+
+// BulkSource supplies rows for BULK INSERT statements.
+type BulkSource func(n int64) []value.Row
+
+// New creates an empty database.
+func New(cfg Config, clock sim.Clock) *Database {
+	if cfg.NoiseCV == 0 {
+		cfg.NoiseCV = 0.12
+	}
+	if cfg.StatsSampleRate == 0 {
+		cfg.StatsSampleRate = 0.25
+	}
+	if cfg.StatsRefreshFraction == 0 {
+		cfg.StatsRefreshFraction = 0.20
+	}
+	rng := sim.NewRNG(cfg.Seed).Child("engine/" + cfg.Name)
+	return &Database{
+		cfg:         cfg,
+		clock:       clock,
+		rng:         rng,
+		noise:       sim.NewNoise(rng, cfg.NoiseCV),
+		tables:      make(map[string]*tableData),
+		indexes:     make(map[string]*indexData),
+		colStat:     make(map[string]*stats.ColumnStats),
+		qs:          querystore.New(clock, cfg.QueryStoreInterval),
+		miDMV:       dmv.NewMissingIndexStore(),
+		usage:       dmv.NewIndexUsageStore(),
+		locks:       NewLockManager(clock),
+		planTxt:     make(map[uint64]string),
+		bulkSources: make(map[string]BulkSource),
+		modules:     newModuleCatalog(),
+	}
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.cfg.Name }
+
+// Tier returns the service tier.
+func (d *Database) Tier() Tier { return d.cfg.Tier }
+
+// Config returns the configuration.
+func (d *Database) Config() Config { return d.cfg }
+
+// Clock returns the database's time source.
+func (d *Database) Clock() sim.Clock { return d.clock }
+
+// QueryStore returns the database's Query Store.
+func (d *Database) QueryStore() *querystore.Store { return d.qs }
+
+// MissingIndexDMV returns the missing-index DMV store.
+func (d *Database) MissingIndexDMV() *dmv.MissingIndexStore { return d.miDMV }
+
+// UsageDMV returns the index usage statistics store.
+func (d *Database) UsageDMV() *dmv.IndexUsageStore { return d.usage }
+
+// Locks returns the lock manager.
+func (d *Database) Locks() *LockManager { return d.locks }
+
+// RegisterBulkSource installs the row generator behind a BULK INSERT data
+// source name.
+func (d *Database) RegisterBulkSource(name string, src BulkSource) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bulkSources[strings.ToLower(name)] = src
+}
+
+// Failover simulates a server failover: the missing-index DMVs reset
+// (§5.2) and the plan cache empties.
+func (d *Database) Failover() {
+	d.mu.Lock()
+	d.failovers++
+	d.planTxt = make(map[uint64]string)
+	d.mu.Unlock()
+	d.miDMV.Reset()
+}
+
+// Failovers reports how many failovers have occurred.
+func (d *Database) Failovers() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.failovers
+}
+
+// ConvoyBlockedStatements reports how many statements were blocked behind
+// a normal-priority exclusive lock request (§8.3's convoy problem).
+func (d *Database) ConvoyBlockedStatements() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.convoyBlocked
+}
+
+// ExecCount reports how many statements this database has executed.
+func (d *Database) ExecCount() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.execCount
+}
+
+// noteSchemaChange resets volatile DMV state, as DDL does in SQL Server.
+func (d *Database) noteSchemaChange() {
+	d.schemaChanges++
+	d.miDMV.Reset()
+}
+
+// ---- table & index storage ----
+
+// tableData is the physical storage of one table.
+type tableData struct {
+	def  *schema.Table
+	heap *storage.Heap // nil when clustered
+	// clustered holds the full rows keyed by primary key.
+	clustered *btree.Tree
+	rowCount  int64
+}
+
+func (t *tableData) pkOrdinals() []int {
+	out := make([]int, len(t.def.PrimaryKey))
+	for i, c := range t.def.PrimaryKey {
+		out[i] = t.def.ColumnIndex(c)
+	}
+	return out
+}
+
+// locatorOf returns the unique row locator for a row: the primary key for
+// clustered tables, the RID for heaps.
+func (t *tableData) locatorOf(row value.Row, rid storage.RID) value.Key {
+	if t.clustered != nil {
+		ords := t.pkOrdinals()
+		k := make(value.Key, len(ords))
+		for i, o := range ords {
+			k[i] = row[o]
+		}
+		return k
+	}
+	return value.Key{value.NewInt(int64(rid))}
+}
+
+func (t *tableData) dataPages() int64 {
+	if t.heap != nil {
+		return t.heap.Pages()
+	}
+	return storage.PagesFor(t.rowCount, t.def.RowWidth())
+}
+
+func (t *tableData) clusteredHeight() int {
+	if t.clustered == nil {
+		return 0
+	}
+	return t.clustered.Height()
+}
+
+// indexData is a materialised non-clustered index. Tree keys are the index
+// key columns followed by the row locator (for uniqueness); payloads hold
+// the included columns followed by the locator.
+type indexData struct {
+	def       schema.IndexDef
+	tree      *btree.Tree
+	keyOrds   []int // ordinals of key columns in the base table
+	inclOrds  []int
+	createdAt time.Time
+	sizeBytes int64
+}
+
+func (ix *indexData) entryFor(t *tableData, row value.Row, loc value.Key) (value.Key, value.Row) {
+	key := make(value.Key, 0, len(ix.keyOrds)+len(loc))
+	for _, o := range ix.keyOrds {
+		key = append(key, row[o])
+	}
+	key = append(key, loc...)
+	payload := make(value.Row, 0, len(ix.inclOrds)+len(loc))
+	for _, o := range ix.inclOrds {
+		payload = append(payload, row[o])
+	}
+	payload = append(payload, loc...)
+	return key, payload
+}
+
+// ---- catalog implementation (optimizer.Catalog) ----
+
+// Table implements optimizer.Catalog.
+func (d *Database) Table(name string) (optimizer.TableInfo, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return optimizer.TableInfo{}, false
+	}
+	return optimizer.TableInfo{
+		Def:             t.def,
+		RowCount:        t.rowCount,
+		DataPages:       t.dataPages(),
+		ClusteredHeight: t.clusteredHeight(),
+	}, true
+}
+
+// Indexes implements optimizer.Catalog.
+func (d *Database) Indexes(table string) []optimizer.IndexInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []optimizer.IndexInfo
+	for _, ix := range d.indexes {
+		if !strings.EqualFold(ix.def.Table, table) {
+			continue
+		}
+		out = append(out, optimizer.IndexInfo{
+			Def:       ix.def,
+			Height:    ix.tree.Height(),
+			LeafPages: int64(ix.tree.LeafCount()),
+			RowCount:  int64(ix.tree.Len()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
+	return out
+}
+
+// ColumnStats implements optimizer.Catalog, lazily refreshing stale
+// statistics with a sampled rebuild.
+func (d *Database) ColumnStats(table, column string) (*stats.ColumnStats, bool) {
+	key := statKey(table, column)
+	d.mu.RLock()
+	st, ok := d.colStat[key]
+	var rowCount int64
+	if t, tok := d.tables[strings.ToLower(table)]; tok {
+		rowCount = t.rowCount
+	}
+	d.mu.RUnlock()
+	if ok && st != nil {
+		drift := abs64(rowCount - int64(st.RowCount))
+		if float64(drift) <= d.cfg.StatsRefreshFraction*maxF(st.RowCount, 1) {
+			return st, true
+		}
+	}
+	// (Re)build with sampling.
+	return d.rebuildColumnStats(table, column)
+}
+
+func statKey(table, column string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(column)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rebuildColumnStats builds sampled statistics for a column.
+func (d *Database) rebuildColumnStats(table, column string) (*stats.ColumnStats, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, false
+	}
+	ord := t.def.ColumnIndex(column)
+	if ord < 0 {
+		return nil, false
+	}
+	vals := make([]value.Value, 0, t.rowCount)
+	collect := func(row value.Row) { vals = append(vals, row[ord]) }
+	if t.heap != nil {
+		t.heap.Scan(func(_ storage.RID, r value.Row) bool { collect(r); return true })
+	} else {
+		t.clustered.Ascend(func(e btree.Entry) bool { collect(e.Payload); return true })
+	}
+	st := stats.BuildSampled(column, vals, d.cfg.StatsSampleRate, d.rng.Child("stats/"+table+"/"+column), d.clock.Now())
+	d.colStat[statKey(table, column)] = st
+	return st, true
+}
+
+// RebuildAllStats rebuilds statistics for every column (used by tests and
+// after bulk loads).
+func (d *Database) RebuildAllStats() {
+	d.mu.RLock()
+	type tc struct{ table, col string }
+	var all []tc
+	for _, t := range d.tables {
+		for _, c := range t.def.Columns {
+			all = append(all, tc{t.def.Name, c.Name})
+		}
+	}
+	d.mu.RUnlock()
+	for _, x := range all {
+		d.rebuildColumnStats(x.table, x.col)
+	}
+}
+
+// TableNames lists the tables, sorted.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t.def.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndexDefs lists every index definition, sorted by name.
+func (d *Database) IndexDefs() []schema.IndexDef {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]schema.IndexDef, 0, len(d.indexes))
+	for _, ix := range d.indexes {
+		out = append(out, ix.def.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IndexDef returns one index definition by name.
+func (d *Database) IndexDef(name string) (schema.IndexDef, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ix, ok := d.indexes[strings.ToLower(name)]
+	if !ok {
+		return schema.IndexDef{}, false
+	}
+	return ix.def.Clone(), true
+}
+
+// IndexSizeBytes returns the estimated on-disk size of an index.
+func (d *Database) IndexSizeBytes(name string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ix, ok := d.indexes[strings.ToLower(name)]
+	if !ok {
+		return 0, false
+	}
+	return ix.sizeBytes, true
+}
+
+// RowCount returns a table's row count.
+func (d *Database) RowCount(table string) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if t, ok := d.tables[strings.ToLower(table)]; ok {
+		return t.rowCount
+	}
+	return 0
+}
+
+// MarkIndexHinted marks an index as referenced by query hints or forced
+// plans, excluding it from automatic drops (§5.4).
+func (d *Database) MarkIndexHinted(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ix, ok := d.indexes[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("engine: no index %q", name)
+	}
+	ix.def.Hinted = true
+	return nil
+}
+
+var _ optimizer.Catalog = (*Database)(nil)

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+)
+
+// Module metadata: the paper's DTA recovers full statement text for stored
+// procedures and functions "whose definition is available in system
+// metadata" when Query Store stored only a fragment (§5.3.2). Applications
+// register their modules; DTA consults them after the plan cache.
+
+// moduleCatalog holds registered module definitions.
+type moduleCatalog struct {
+	mu sync.RWMutex
+	// byHash maps statement fingerprints to full statement text.
+	byHash map[uint64]string
+	names  map[string]uint64
+}
+
+func newModuleCatalog() *moduleCatalog {
+	return &moduleCatalog{byHash: make(map[uint64]string), names: make(map[string]uint64)}
+}
+
+// RegisterModule records a named module (stored procedure / function) body
+// in system metadata. The body must be a single parseable statement; its
+// fingerprint keys later lookups.
+func (d *Database) RegisterModule(name, body string) error {
+	stmt, err := parseStatementText(body)
+	if err != nil {
+		return err
+	}
+	d.modules.mu.Lock()
+	defer d.modules.mu.Unlock()
+	h := stmt.Fingerprint()
+	d.modules.byHash[h] = body
+	d.modules.names[strings.ToLower(name)] = h
+	return nil
+}
+
+// ModuleText returns the full statement text for a query hash if a
+// registered module defines it.
+func (d *Database) ModuleText(queryHash uint64) (string, bool) {
+	d.modules.mu.RLock()
+	defer d.modules.mu.RUnlock()
+	t, ok := d.modules.byHash[queryHash]
+	return t, ok
+}
+
+// Modules lists registered module names.
+func (d *Database) Modules() []string {
+	d.modules.mu.RLock()
+	defer d.modules.mu.RUnlock()
+	out := make([]string, 0, len(d.modules.names))
+	for n := range d.modules.names {
+		out = append(out, n)
+	}
+	return out
+}

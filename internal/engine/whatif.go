@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"errors"
+
+	"autoindex/internal/optimizer"
+	"autoindex/internal/sqlparser"
+)
+
+// ErrWhatIfBudget is returned when a what-if session exhausts its
+// optimizer-call budget — the resource governance DTA runs under (§5.3.1).
+var ErrWhatIfBudget = errors.New("engine: what-if session optimizer-call budget exhausted")
+
+// WhatIfSession reproduces the AutoAdmin what-if index analysis utility
+// [11]: callers add hypothetical indexes (metadata + statistics only) and
+// cost statements against the resulting configuration without building
+// anything. Each session is budgeted: SQL Server's resource governor
+// limits DTA's footprint on the primary, and exceeding the budget aborts
+// the session.
+type WhatIfSession struct {
+	db  *Database
+	cat *optimizer.WhatIfCatalog
+	opt *optimizer.Optimizer
+	// MaxOptimizerCalls bounds the session; 0 means unlimited.
+	MaxOptimizerCalls int64
+	// StatsCreated counts sampled-statistics builds charged to the
+	// session (DTA's main server-side overhead, §5.3.1).
+	StatsCreated int64
+}
+
+// NewWhatIfSession opens a what-if session over the database.
+func (d *Database) NewWhatIfSession() *WhatIfSession {
+	cat := optimizer.NewWhatIfCatalog(d)
+	return &WhatIfSession{
+		db:  d,
+		cat: cat,
+		opt: &optimizer.Optimizer{Cat: cat, WhatIfMode: true},
+	}
+}
+
+// Catalog exposes the overlay catalog (for adding/removing hypotheticals).
+func (s *WhatIfSession) Catalog() *optimizer.WhatIfCatalog { return s.cat }
+
+// Calls reports optimizer calls made so far.
+func (s *WhatIfSession) Calls() int64 { return s.opt.Calls() }
+
+// Cost plans stmt under the session's hypothetical configuration and
+// returns the estimated cost. Statements the what-if API cannot optimize
+// return optimizer.ErrWhatIfUnsupported; budget exhaustion returns
+// ErrWhatIfBudget.
+func (s *WhatIfSession) Cost(stmt sqlparser.Statement) (float64, *optimizer.Plan, error) {
+	if s.MaxOptimizerCalls > 0 && s.opt.Calls() >= s.MaxOptimizerCalls {
+		return 0, nil, ErrWhatIfBudget
+	}
+	return s.opt.CostStatement(stmt)
+}
+
+// CreateSampledStats simulates DTA building a sampled statistic on the
+// server: the work is charged to the session and to virtual time.
+func (s *WhatIfSession) CreateSampledStats(table, column string) {
+	s.StatsCreated++
+	// Building a sampled stat reads a fraction of the table.
+	s.db.rebuildColumnStats(table, column)
+}
+
+// Cleanup removes all hypothetical indexes, as the control plane does when
+// a DTA session ends or is aborted (§5.3.3).
+func (s *WhatIfSession) Cleanup() { s.cat.ClearHypothetical() }

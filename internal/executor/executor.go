@@ -1,0 +1,446 @@
+// Package executor implements the physical operators that execute plans:
+// filter, project, sort, top, hash aggregation, hash join and nested-loops
+// join over pull-based row streams. Operators charge *actual* CPU work to a
+// Meter using the same cost units the optimizer estimates in; the engine's
+// access paths charge actual page reads. The spread between the
+// optimizer's estimate and the meter's measurement is the raw material of
+// the paper's validation problem.
+package executor
+
+import (
+	"sort"
+
+	"autoindex/internal/optimizer"
+	"autoindex/internal/value"
+)
+
+// Meter accumulates the actual execution cost of one statement.
+type Meter struct {
+	PagesRead     float64
+	PagesWritten  float64
+	CPUUnits      float64
+	RowsProcessed int64
+}
+
+// ChargePages records logical page reads.
+func (m *Meter) ChargePages(p float64) { m.PagesRead += p }
+
+// ChargePageWrites records page writes.
+func (m *Meter) ChargePageWrites(p float64) { m.PagesWritten += p }
+
+// ChargeRows records per-row CPU work for n rows.
+func (m *Meter) ChargeRows(n int64) {
+	m.RowsProcessed += n
+	m.CPUUnits += float64(n) * optimizer.CPUPerRow
+}
+
+// ChargeCPU records raw CPU units.
+func (m *Meter) ChargeCPU(u float64) { m.CPUUnits += u }
+
+// TotalCost returns the combined cost in optimizer units.
+func (m *Meter) TotalCost() float64 {
+	return m.PagesRead + m.PagesWritten + m.CPUUnits
+}
+
+// Source is a pull-based row stream.
+type Source interface {
+	// Next returns the next row, or ok=false at end of stream.
+	Next() (value.Row, bool)
+}
+
+// SliceSource yields rows from a materialized slice.
+type SliceSource struct {
+	Rows []value.Row
+	i    int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (value.Row, bool) {
+	if s.i >= len(s.Rows) {
+		return nil, false
+	}
+	r := s.Rows[s.i]
+	s.i++
+	return r, true
+}
+
+// Drain consumes a source into a slice.
+func Drain(s Source) []value.Row {
+	var out []value.Row
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Filter yields child rows satisfying pred, charging CPU per input row.
+type Filter struct {
+	Child Source
+	Pred  func(value.Row) bool
+	Meter *Meter
+}
+
+// Next implements Source.
+func (f *Filter) Next() (value.Row, bool) {
+	for {
+		r, ok := f.Child.Next()
+		if !ok {
+			return nil, false
+		}
+		f.Meter.ChargeRows(1)
+		if f.Pred(r) {
+			return r, true
+		}
+	}
+}
+
+// Project maps child rows through Fn.
+type Project struct {
+	Child Source
+	Fn    func(value.Row) value.Row
+	Meter *Meter
+}
+
+// Next implements Source.
+func (p *Project) Next() (value.Row, bool) {
+	r, ok := p.Child.Next()
+	if !ok {
+		return nil, false
+	}
+	p.Meter.ChargeRows(1)
+	return p.Fn(r), true
+}
+
+// Sort materializes and sorts child rows by Less on first pull.
+type Sort struct {
+	Child Source
+	Less  func(a, b value.Row) bool
+	Meter *Meter
+
+	sorted []value.Row
+	done   bool
+	i      int
+}
+
+// Next implements Source.
+func (s *Sort) Next() (value.Row, bool) {
+	if !s.done {
+		s.sorted = Drain(s.Child)
+		n := len(s.sorted)
+		if n > 1 {
+			sort.SliceStable(s.sorted, func(i, j int) bool { return s.Less(s.sorted[i], s.sorted[j]) })
+			// n log n comparisons plus a pass.
+			s.Meter.ChargeCPU(float64(n) * log2(float64(n)) * optimizer.CPUPerCompare)
+		}
+		s.Meter.ChargeRows(int64(n))
+		s.done = true
+	}
+	if s.i >= len(s.sorted) {
+		return nil, false
+	}
+	r := s.sorted[s.i]
+	s.i++
+	return r, true
+}
+
+func log2(f float64) float64 {
+	n := 0.0
+	for f > 1 {
+		f /= 2
+		n++
+	}
+	return n + 1
+}
+
+// Top yields at most N child rows.
+type Top struct {
+	Child Source
+	N     int
+	seen  int
+}
+
+// Next implements Source.
+func (t *Top) Next() (value.Row, bool) {
+	if t.seen >= t.N {
+		return nil, false
+	}
+	r, ok := t.Child.Next()
+	if !ok {
+		return nil, false
+	}
+	t.seen++
+	return r, true
+}
+
+// AggKind enumerates aggregate computations.
+type AggKind int
+
+// Aggregate kinds; AggKey passes a grouping column through.
+const (
+	AggKey AggKind = iota
+	AggCountStar
+	AggCountCol
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one output column of an aggregation: either a group key
+// column (AggKey) or an aggregate over input column Col.
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+type aggState struct {
+	key     value.Key
+	count   int64
+	countC  []int64
+	sums    []float64
+	mins    []value.Value
+	maxs    []value.Value
+	hasMinM []bool
+}
+
+// HashAgg groups child rows by GroupCols and computes Specs per group.
+// When GroupCols is empty it produces a single scalar-aggregate row (even
+// for empty input, matching SQL semantics).
+type HashAgg struct {
+	Child     Source
+	GroupCols []int
+	Specs     []AggSpec
+	Meter     *Meter
+
+	done   bool
+	groups []*aggState
+	i      int
+}
+
+// Next implements Source.
+func (h *HashAgg) Next() (value.Row, bool) {
+	if !h.done {
+		h.build()
+		h.done = true
+	}
+	if h.i >= len(h.groups) {
+		return nil, false
+	}
+	g := h.groups[h.i]
+	h.i++
+	return h.render(g), true
+}
+
+func (h *HashAgg) build() {
+	index := make(map[uint64][]*aggState)
+	order := []*aggState{}
+	for {
+		r, ok := h.Child.Next()
+		if !ok {
+			break
+		}
+		h.Meter.ChargeRows(1)
+		h.Meter.ChargeCPU(optimizer.HashBuildPerRow)
+		key := make(value.Key, len(h.GroupCols))
+		for i, c := range h.GroupCols {
+			key[i] = r[c]
+		}
+		hash := value.HashKey(key)
+		var st *aggState
+		for _, cand := range index[hash] {
+			if value.KeyEqual(cand.key, key) {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = &aggState{
+				key:     key,
+				countC:  make([]int64, len(h.Specs)),
+				sums:    make([]float64, len(h.Specs)),
+				mins:    make([]value.Value, len(h.Specs)),
+				maxs:    make([]value.Value, len(h.Specs)),
+				hasMinM: make([]bool, len(h.Specs)),
+			}
+			index[hash] = append(index[hash], st)
+			order = append(order, st)
+		}
+		st.count++
+		for i, spec := range h.Specs {
+			switch spec.Kind {
+			case AggCountCol, AggSum, AggAvg, AggMin, AggMax:
+				v := r[spec.Col]
+				if v.IsNull() {
+					continue
+				}
+				st.countC[i]++
+				if f, ok := v.AsFloat(); ok {
+					st.sums[i] += f
+				}
+				if !st.hasMinM[i] || value.Compare(v, st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				if !st.hasMinM[i] || value.Compare(v, st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+				st.hasMinM[i] = true
+			}
+		}
+	}
+	if len(h.GroupCols) == 0 && len(order) == 0 {
+		// Scalar aggregate over empty input still yields one row.
+		order = append(order, &aggState{
+			countC:  make([]int64, len(h.Specs)),
+			sums:    make([]float64, len(h.Specs)),
+			mins:    make([]value.Value, len(h.Specs)),
+			maxs:    make([]value.Value, len(h.Specs)),
+			hasMinM: make([]bool, len(h.Specs)),
+		})
+	}
+	h.groups = order
+}
+
+func (h *HashAgg) render(g *aggState) value.Row {
+	out := make(value.Row, len(h.Specs))
+	for i, spec := range h.Specs {
+		switch spec.Kind {
+		case AggKey:
+			// Col indexes into the group key for AggKey specs.
+			out[i] = g.key[spec.Col]
+		case AggCountStar:
+			out[i] = value.NewInt(g.count)
+		case AggCountCol:
+			out[i] = value.NewInt(g.countC[i])
+		case AggSum:
+			if g.countC[i] == 0 {
+				out[i] = value.NewNull()
+			} else {
+				out[i] = value.NewFloat(g.sums[i])
+			}
+		case AggAvg:
+			if g.countC[i] == 0 {
+				out[i] = value.NewNull()
+			} else {
+				out[i] = value.NewFloat(g.sums[i] / float64(g.countC[i]))
+			}
+		case AggMin:
+			if !g.hasMinM[i] {
+				out[i] = value.NewNull()
+			} else {
+				out[i] = g.mins[i]
+			}
+		case AggMax:
+			if !g.hasMinM[i] {
+				out[i] = value.NewNull()
+			} else {
+				out[i] = g.maxs[i]
+			}
+		}
+	}
+	return out
+}
+
+// HashJoin builds a hash table from the build side and probes it with the
+// probe side. Output rows are probe row ++ build row.
+type HashJoin struct {
+	Probe    Source
+	Build    Source
+	ProbeCol int
+	BuildCol int
+	Meter    *Meter
+
+	built   bool
+	table   map[uint64][]value.Row
+	pending []value.Row
+	current value.Row
+}
+
+// Next implements Source.
+func (j *HashJoin) Next() (value.Row, bool) {
+	if !j.built {
+		j.table = make(map[uint64][]value.Row)
+		for {
+			r, ok := j.Build.Next()
+			if !ok {
+				break
+			}
+			j.Meter.ChargeRows(1)
+			j.Meter.ChargeCPU(optimizer.HashBuildPerRow)
+			v := r[j.BuildCol]
+			if v.IsNull() {
+				continue
+			}
+			h := v.Hash()
+			j.table[h] = append(j.table[h], r)
+		}
+		j.built = true
+	}
+	for {
+		if len(j.pending) > 0 {
+			b := j.pending[0]
+			j.pending = j.pending[1:]
+			out := make(value.Row, 0, len(j.current)+len(b))
+			out = append(out, j.current...)
+			out = append(out, b...)
+			return out, true
+		}
+		p, ok := j.Probe.Next()
+		if !ok {
+			return nil, false
+		}
+		j.Meter.ChargeRows(1)
+		v := p[j.ProbeCol]
+		if v.IsNull() {
+			continue
+		}
+		for _, b := range j.table[v.Hash()] {
+			if value.Equal(b[j.BuildCol], v) {
+				j.pending = append(j.pending, b)
+			}
+		}
+		j.current = p
+	}
+}
+
+// NLJoin is an index nested-loops join: for each outer row it asks Bind
+// for a matching inner stream (typically an index seek on the join key).
+type NLJoin struct {
+	Outer    Source
+	OuterCol int
+	// Bind returns the inner rows matching the outer join key; the engine
+	// implements it as an index seek, charging pages to the meter.
+	Bind  func(key value.Value) Source
+	Meter *Meter
+
+	inner   Source
+	current value.Row
+}
+
+// Next implements Source.
+func (j *NLJoin) Next() (value.Row, bool) {
+	for {
+		if j.inner != nil {
+			if r, ok := j.inner.Next(); ok {
+				out := make(value.Row, 0, len(j.current)+len(r))
+				out = append(out, j.current...)
+				out = append(out, r...)
+				return out, true
+			}
+			j.inner = nil
+		}
+		o, ok := j.Outer.Next()
+		if !ok {
+			return nil, false
+		}
+		j.Meter.ChargeRows(1)
+		v := o[j.OuterCol]
+		if v.IsNull() {
+			continue
+		}
+		j.current = o
+		j.inner = j.Bind(v)
+	}
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"autoindex/internal/binstance"
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+func tenant(t *testing.T, seed int64, tier engine.Tier) *workload.Tenant {
+	t.Helper()
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "exp", Tier: tier, Seed: seed, UserIndexes: true,
+	}, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestWorkflowRunsStepsInOrder(t *testing.T) {
+	tn := tenant(t, 3, engine.TierBasic)
+	eng := &Engine{Clock: tn.DB.Clock(), RNG: sim.NewRNG(1)}
+	var order []string
+	wf := Workflow{Name: "order", Steps: []Step{
+		StepCustom("a", func(*Context) error { order = append(order, "a"); return nil }),
+		StepCustom("b", func(*Context) error { order = append(order, "b"); return nil }),
+		StepMark("t1"),
+	}}
+	ctx, err := eng.Execute(wf, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order: %v", order)
+	}
+	if _, ok := MarkedTime(ctx, "t1"); !ok {
+		t.Fatal("mark missing")
+	}
+	if len(ctx.Log) == 0 {
+		t.Fatal("no log")
+	}
+}
+
+func TestWorkflowFailureRunsCleanupsInReverse(t *testing.T) {
+	tn := tenant(t, 3, engine.TierBasic)
+	eng := &Engine{Clock: tn.DB.Clock(), RNG: sim.NewRNG(1)}
+	var cleaned []string
+	boom := errors.New("boom")
+	wf := Workflow{Name: "fail", Steps: []Step{
+		{Name: "s1", Run: func(*Context) error { return nil },
+			Cleanup: func(*Context) { cleaned = append(cleaned, "s1") }},
+		{Name: "s2", Run: func(*Context) error { return nil },
+			Cleanup: func(*Context) { cleaned = append(cleaned, "s2") }},
+		{Name: "s3", Run: func(*Context) error { return boom }},
+	}}
+	_, err := eng.Execute(wf, tn)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(cleaned) != 2 || cleaned[0] != "s2" || cleaned[1] != "s1" {
+		t.Fatalf("cleanup order: %v", cleaned)
+	}
+}
+
+func TestReplayThroughPrimaryForksTraffic(t *testing.T) {
+	tn := tenant(t, 5, engine.TierBasic)
+	eng := &Engine{Clock: tn.DB.Clock(), RNG: sim.NewRNG(2)}
+	wf := Workflow{Name: "fork", Steps: []Step{
+		StepCreateBInstance(binstance.Config{}),
+		StepReplay("live", time.Hour, 40, true),
+		StepCheckDivergence(0.5),
+	}}
+	ctx, err := eng.Execute(wf, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, _ := ctx.B.Stats()
+	if replayed == 0 {
+		t.Fatal("no statements forked to the B-instance")
+	}
+}
+
+func TestDivergenceStepAborts(t *testing.T) {
+	tn := tenant(t, 5, engine.TierBasic)
+	eng := &Engine{Clock: tn.DB.Clock(), RNG: sim.NewRNG(2)}
+	wf := Workflow{Name: "diverge", Steps: []Step{
+		StepCreateBInstance(binstance.Config{}),
+		// Mutate the B-instance heavily without touching the primary.
+		StepCustom("mutate", func(ctx *Context) error {
+			table := ctx.B.DB.TableNames()[0]
+			_, err := ctx.B.DB.Exec("DELETE FROM " + table)
+			return err
+		}),
+		StepCheckDivergence(0.5),
+	}}
+	_, err := eng.Execute(wf, tn)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("want ErrDiverged, got %v", err)
+	}
+}
+
+// TestFig6SingleTenant runs the full §7.3 protocol on one database and
+// checks the structural invariants of the result.
+func TestFig6SingleTenant(t *testing.T) {
+	tn := tenant(t, 12, engine.TierStandard)
+	cfg := DefaultFig6Config()
+	cfg.PhaseStatements = 300
+	cfg.PhaseDuration = 8 * time.Hour
+	res := RunFig6ForTenant(tn, cfg, sim.NewRNG(8))
+	if res.Err != nil {
+		t.Fatalf("experiment failed: %v", res.Err)
+	}
+	if len(res.DroppedUser) == 0 {
+		t.Fatal("no user indexes dropped")
+	}
+	if len(res.ImprovementPct) != 3 {
+		t.Fatalf("phases measured: %+v", res.ImprovementPct)
+	}
+	switch res.Winner {
+	case WinnerDTA, WinnerMI, WinnerUser, WinnerComparable:
+	default:
+		t.Fatalf("winner: %q", res.Winner)
+	}
+	// The primary must be untouched: user indexes still present, no auto
+	// indexes.
+	for _, name := range res.DroppedUser {
+		if _, ok := tn.DB.IndexDef(name); !ok {
+			t.Fatalf("experiment dropped %s on the primary", name)
+		}
+	}
+	for _, def := range tn.DB.IndexDefs() {
+		if def.AutoCreated {
+			t.Fatalf("experiment created %s on the primary", def.Name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []DatabaseResult{
+		{Database: "a", Winner: WinnerDTA, ImprovementPct: map[Winner]float64{WinnerDTA: 50, WinnerMI: 30, WinnerUser: 10}},
+		{Database: "b", Winner: WinnerComparable, ImprovementPct: map[Winner]float64{WinnerDTA: 10, WinnerMI: 10, WinnerUser: 10}},
+		{Database: "c", Err: errors.New("x")},
+	}
+	s := Summarize("premium", results)
+	if s.Databases != 2 || s.Errors != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Share[WinnerDTA] != 50 || s.Share[WinnerComparable] != 50 {
+		t.Fatalf("shares: %+v", s.Share)
+	}
+	if s.AvgImprove[WinnerDTA] != 30 {
+		t.Fatalf("avg: %+v", s.AvgImprove)
+	}
+	if s.String() == "" {
+		t.Fatal("string")
+	}
+}

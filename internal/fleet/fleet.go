@@ -1,0 +1,219 @@
+// Package fleet builds and drives multi-tenant database fleets: the
+// substrate for reproducing Fig. 6 (recommender comparison at scale on
+// B-instances) and the §8.1 operational statistics (long-horizon
+// auto-indexing with validation and drops across many databases).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"autoindex/internal/controlplane"
+	"autoindex/internal/engine"
+	"autoindex/internal/experiment"
+	"autoindex/internal/querystore"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+// Spec configures a fleet.
+type Spec struct {
+	Databases int
+	Tier      engine.Tier
+	// MixedTiers overrides Tier with a Basic/Standard/Premium mix.
+	MixedTiers bool
+	Seed       int64
+	// Scale multiplies tenant data sizes.
+	Scale float64
+	// UserIndexes gives tenants pre-existing human tuning.
+	UserIndexes bool
+}
+
+// Fleet is a set of tenants sharing one region clock.
+type Fleet struct {
+	Clock   *sim.VirtualClock
+	RNG     *sim.RNG
+	Tenants []*workload.Tenant
+}
+
+// Build creates the fleet.
+func Build(spec Spec) (*Fleet, error) {
+	clock := sim.NewClock()
+	rng := sim.NewRNG(spec.Seed)
+	f := &Fleet{Clock: clock, RNG: rng}
+	for i := 0; i < spec.Databases; i++ {
+		tier := spec.Tier
+		if spec.MixedTiers {
+			switch i % 4 {
+			case 0, 1:
+				tier = engine.TierStandard
+			case 2:
+				tier = engine.TierBasic
+			default:
+				tier = engine.TierPremium
+			}
+		}
+		p := workload.Profile{
+			Name:        fmt.Sprintf("db%03d", i),
+			Tier:        tier,
+			Seed:        spec.Seed + int64(i)*7919,
+			Scale:       spec.Scale,
+			UserIndexes: spec.UserIndexes,
+		}
+		tn, err := workload.NewTenant(p, clock)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %d: %w", i, err)
+		}
+		f.Tenants = append(f.Tenants, tn)
+	}
+	return f, nil
+}
+
+// RunFig6 executes the §7.3 experiment across the fleet and summarises.
+func (f *Fleet) RunFig6(tierLabel string, cfg experiment.Fig6Config) experiment.Fig6Summary {
+	var results []experiment.DatabaseResult
+	for _, tn := range f.Tenants {
+		results = append(results, experiment.RunFig6ForTenant(tn, cfg, f.RNG))
+	}
+	return experiment.Summarize(tierLabel, results)
+}
+
+// OpsConfig drives the §8.1 operational simulation.
+type OpsConfig struct {
+	Days int
+	// StatementsPerHour per tenant.
+	StatementsPerHour int
+	// AutoImplementFraction of databases have auto-implementation on
+	// (about a quarter in the paper).
+	AutoImplementFraction float64
+	// NewTenantEvery adds a fresh database on this cadence (the paper's
+	// "increasing stream of new databases"); 0 disables.
+	NewTenantEvery time.Duration
+	// FailoverProb is a per-database per-day failover probability,
+	// exercising the MI snapshot reset tolerance.
+	FailoverProb float64
+	Plane        controlplane.Config
+}
+
+// DefaultOpsConfig returns a simulation-scale configuration.
+func DefaultOpsConfig() OpsConfig {
+	return OpsConfig{
+		Days:                  10,
+		StatementsPerHour:     25,
+		AutoImplementFraction: 0.25,
+		FailoverProb:          0.02,
+		Plane:                 controlplane.DefaultConfig(),
+	}
+}
+
+// OpsResult is the §8.1-style outcome.
+type OpsResult struct {
+	Stats controlplane.OperationalStats
+	// QueriesTwiceFaster counts queries whose CPU or logical reads
+	// improved by more than 2x end-to-start.
+	QueriesTwiceFaster int
+	// DatabasesHalvedCPU counts databases whose aggregate workload CPU
+	// fell by more than 50%.
+	DatabasesHalvedCPU int
+	// SteadyStateDatabases counts databases with no Active recommendations
+	// at the end.
+	SteadyStateDatabases int
+	Plane                *controlplane.ControlPlane
+}
+
+// RunOps runs the long-horizon operational simulation.
+func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
+	cp := controlplane.New(cfg.Plane, f.Clock, controlplane.NewMemStore(), nil)
+	autoRNG := f.RNG.Child("ops/auto")
+	for _, tn := range f.Tenants {
+		auto := autoRNG.Float64() < cfg.AutoImplementFraction
+		cp.Manage(tn.DB, "server-0", controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
+	}
+	// First/last-window per-query costs for the >2x and >50% statistics.
+	startCosts := make(map[string]map[uint64]float64)
+	startTotal := make(map[string]float64)
+
+	newTenantRNG := f.RNG.Child("ops/new")
+	nextNew := time.Duration(0)
+	if cfg.NewTenantEvery > 0 {
+		nextNew = cfg.NewTenantEvery
+	}
+	start := f.Clock.Now()
+	hours := cfg.Days * 24
+	warmupHours := 24
+	failRNG := f.RNG.Child("ops/failover")
+	for h := 0; h < hours; h++ {
+		for _, tn := range f.Tenants {
+			tn.Run(0, cfg.StatementsPerHour)
+			if failRNG.Float64() < cfg.FailoverProb/24 {
+				tn.DB.Failover()
+			}
+		}
+		f.Clock.Advance(time.Hour)
+		cp.Step()
+		if h == warmupHours {
+			for _, tn := range f.Tenants {
+				per, total := windowCosts(tn, start, f.Clock.Now())
+				startCosts[tn.DB.Name()] = per
+				startTotal[tn.DB.Name()] = total
+			}
+		}
+		if cfg.NewTenantEvery > 0 && f.Clock.Now().Sub(start) >= nextNew {
+			nextNew += cfg.NewTenantEvery
+			idx := len(f.Tenants)
+			tn, err := workload.NewTenant(workload.Profile{
+				Name:        fmt.Sprintf("db%03d", idx),
+				Tier:        engine.TierStandard,
+				Seed:        spec.Seed + int64(idx)*7919 + newTenantRNG.Int63n(1<<30),
+				Scale:       spec.Scale,
+				UserIndexes: spec.UserIndexes,
+			}, f.Clock)
+			if err == nil {
+				auto := autoRNG.Float64() < cfg.AutoImplementFraction
+				cp.Manage(tn.DB, "server-0", controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
+				f.Tenants = append(f.Tenants, tn)
+			}
+		}
+	}
+
+	res := &OpsResult{Stats: cp.OpStats(), Plane: cp}
+	lastFrom := f.Clock.Now().Add(-24 * time.Hour)
+	for _, tn := range f.Tenants {
+		basePer, baseTotal := startCosts[tn.DB.Name()], startTotal[tn.DB.Name()]
+		if basePer == nil {
+			continue
+		}
+		endPer, endTotal := windowCosts(tn, lastFrom, f.Clock.Now())
+		for q, b := range basePer {
+			if e, ok := endPer[q]; ok && e > 0 && b/e > 2 {
+				res.QueriesTwiceFaster++
+			}
+		}
+		if baseTotal > 0 && endTotal > 0 && endTotal < baseTotal*0.5 {
+			res.DatabasesHalvedCPU++
+		}
+		if len(cp.ListRecommendations(tn.DB.Name())) == 0 {
+			res.SteadyStateDatabases++
+		}
+	}
+	return res, nil
+}
+
+// windowCosts returns per-query mean CPU and the workload mean CPU per
+// statement over a window.
+func windowCosts(tn *workload.Tenant, from, to time.Time) (map[uint64]float64, float64) {
+	per := make(map[uint64]float64)
+	var total, n float64
+	qs := tn.DB.QueryStore()
+	for _, h := range qs.QueryHashes() {
+		if s, ok := qs.QueryWindowSample(h, querystore.MetricCPU, from, to); ok && s.N >= 2 {
+			per[h] = s.Mean
+			total += s.Mean * float64(s.N)
+			n += float64(s.N)
+		}
+	}
+	if n == 0 {
+		return per, 0
+	}
+	return per, total / n
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/experiment"
+)
+
+func TestBuildFleetMixedTiers(t *testing.T) {
+	f, err := Build(Spec{Databases: 4, MixedTiers: true, Seed: 1, UserIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Tenants) != 4 {
+		t.Fatalf("tenants: %d", len(f.Tenants))
+	}
+	tiers := make(map[engine.Tier]int)
+	for _, tn := range f.Tenants {
+		tiers[tn.DB.Tier()]++
+	}
+	if len(tiers) < 2 {
+		t.Fatalf("tier mix: %v", tiers)
+	}
+}
+
+// TestRunOpsShape runs a small §8.1 simulation and checks the structural
+// claims: actions implemented, validations run, the revert rate in a sane
+// band, and improvement statistics produced.
+func TestRunOpsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation is slow")
+	}
+	spec := Spec{Databases: 4, MixedTiers: true, Seed: 2026, UserIndexes: true}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOpsConfig()
+	cfg.Days = 6
+	cfg.StatementsPerHour = 20
+	cfg.AutoImplementFraction = 1.0
+	cfg.NewTenantEvery = 72 * time.Hour
+	res, err := f.RunOps(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.CreatesImplemented == 0 {
+		t.Fatalf("nothing implemented: %+v", s)
+	}
+	if s.Validations == 0 {
+		t.Fatalf("nothing validated: %+v", s)
+	}
+	if s.RevertRate > 0.5 {
+		t.Fatalf("revert rate out of band: %+v", s)
+	}
+	// New tenants arrived (the paper's increasing stream of databases).
+	if len(f.Tenants) <= 4 {
+		t.Fatal("no new tenants arrived")
+	}
+	if s.Databases <= 4 {
+		t.Fatalf("control plane missed new tenants: %+v", s)
+	}
+}
+
+// TestRunFig6Small checks the experiment harness produces a well-formed
+// summary with the paper's structural property: no recommender wins
+// everywhere.
+func TestRunFig6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 is slow")
+	}
+	f, err := Build(Spec{Databases: 3, Tier: engine.TierStandard, Seed: 99, UserIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiment.DefaultFig6Config()
+	cfg.PhaseStatements = 250
+	cfg.PhaseDuration = 8 * time.Hour
+	sum := f.RunFig6("standard", cfg)
+	if sum.Databases+sum.Errors != 3 {
+		t.Fatalf("accounting: %+v", sum)
+	}
+	var total float64
+	for _, share := range sum.Share {
+		if share < 0 || share > 100 {
+			t.Fatalf("share out of range: %+v", sum.Share)
+		}
+		total += share
+	}
+	if sum.Databases > 0 && (total < 99 || total > 101) {
+		t.Fatalf("shares must sum to 100: %v", total)
+	}
+}

@@ -1,0 +1,60 @@
+package mathx
+
+import "math"
+
+// Logistic is an online logistic-regression binary classifier trained with
+// stochastic gradient descent. The paper (§5.2) trains a classifier on data
+// from previous index validations — features such as estimated impact and
+// table/index size — to filter out Missing-Index recommendations expected
+// to have low impact on actual execution. This is that classifier.
+type Logistic struct {
+	// Weights holds one weight per feature; Bias is the intercept.
+	Weights []float64
+	Bias    float64
+	// LR is the learning rate; L2 the ridge penalty.
+	LR float64
+	L2 float64
+	// Seen counts training updates, for diagnostics.
+	Seen int64
+}
+
+// NewLogistic returns a classifier for dim features.
+func NewLogistic(dim int) *Logistic {
+	return &Logistic{Weights: make([]float64, dim), LR: 0.05, L2: 1e-4}
+}
+
+// Score returns P(label = 1 | x).
+func (l *Logistic) Score(x []float64) float64 {
+	z := l.Bias
+	for i, w := range l.Weights {
+		if i < len(x) {
+			z += w * x[i]
+		}
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Train performs one SGD step toward label (true = positive class, i.e.
+// "index had real impact when validated").
+func (l *Logistic) Train(x []float64, label bool) {
+	p := l.Score(x)
+	y := 0.0
+	if label {
+		y = 1
+	}
+	g := p - y // d(loss)/dz
+	l.Bias -= l.LR * g
+	for i := range l.Weights {
+		xi := 0.0
+		if i < len(x) {
+			xi = x[i]
+		}
+		l.Weights[i] -= l.LR * (g*xi + l.L2*l.Weights[i])
+	}
+	l.Seen++
+}
+
+// Predict reports whether the classifier scores x above threshold.
+func (l *Logistic) Predict(x []float64, threshold float64) bool {
+	return l.Score(x) >= threshold
+}

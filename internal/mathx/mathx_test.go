@@ -1,0 +1,235 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N != 8 || math.Abs(w.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean)
+	}
+	// Sample variance of the set is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if math.Abs(w.Sum()-40) > 1e-9 {
+		t.Fatalf("sum = %v", w.Sum())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var all, left, right Welford
+		for _, x := range a {
+			x = clampF(x)
+			all.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			x = clampF(x)
+			all.Add(x)
+			right.Add(x)
+		}
+		left.Merge(right)
+		if all.N != left.N {
+			return false
+		}
+		if all.N == 0 {
+			return true
+		}
+		return closeEnough(all.Mean, left.Mean) && closeEnough(all.Variance(), left.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	// Keep magnitudes sane for float comparison.
+	return math.Mod(x, 1e6)
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*math.Max(scale, 1)
+}
+
+func TestStudentTSurvivalKnownValues(t *testing.T) {
+	// Known quantiles: P(T > 2.776) with df=4 ≈ 0.025.
+	cases := []struct {
+		t, df, want, tol float64
+	}{
+		{2.776, 4, 0.025, 0.002},
+		{1.96, 1e6, 0.025, 0.002}, // ~normal at high df
+		{0, 10, 0.5, 1e-9},
+		{12.706, 1, 0.025, 0.002},
+	}
+	for _, c := range cases {
+		got := StudentTSurvival(c.t, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("StudentTSurvival(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchDetectsDifference(t *testing.T) {
+	a := Sample{N: 30, Mean: 10, Variance: 4}
+	b := Sample{N: 30, Mean: 14, Variance: 9}
+	res, ok := Welch(a, b)
+	if !ok {
+		t.Fatal("welch failed")
+	}
+	if res.P > 0.001 {
+		t.Fatalf("clearly different samples, p = %v", res.P)
+	}
+	if res.T >= 0 {
+		t.Fatalf("a < b should give negative t, got %v", res.T)
+	}
+}
+
+func TestWelchNoDifference(t *testing.T) {
+	a := Sample{N: 10, Mean: 10, Variance: 25}
+	b := Sample{N: 12, Mean: 10.4, Variance: 30}
+	res, ok := Welch(a, b)
+	if !ok {
+		t.Fatal("welch failed")
+	}
+	if res.P < 0.5 {
+		t.Fatalf("similar samples, p = %v too small", res.P)
+	}
+}
+
+func TestWelchRequiresTwoObservations(t *testing.T) {
+	if _, ok := Welch(Sample{N: 1, Mean: 10}, Sample{N: 30, Mean: 10, Variance: 1}); ok {
+		t.Fatal("n=1 must be rejected")
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	a := Sample{N: 5, Mean: 10}
+	b := Sample{N: 5, Mean: 10}
+	res, ok := Welch(a, b)
+	if !ok || res.P != 1 {
+		t.Fatalf("identical constants: p = %v ok = %v", res.P, ok)
+	}
+	c := Sample{N: 5, Mean: 12}
+	res, ok = Welch(a, c)
+	if !ok || res.P != 0 {
+		t.Fatalf("different constants: p = %v", res.P)
+	}
+}
+
+// Welch on simulated same-distribution data should reject ~alpha of the
+// time.
+func TestWelchFalsePositiveRate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rejects := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		var wa, wb Welford
+		for j := 0; j < 25; j++ {
+			wa.Add(100 + 10*r.NormFloat64())
+			wb.Add(100 + 10*r.NormFloat64())
+		}
+		res, ok := Welch(FromWelford(wa), FromWelford(wb))
+		if ok && res.P < 0.05 {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate > 0.10 {
+		t.Fatalf("false positive rate %.3f far above alpha", rate)
+	}
+}
+
+func TestSlopeTStat(t *testing.T) {
+	// Perfect upward line: infinite t.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	slope, tstat, _, ok := SlopeTStat(xs, ys)
+	if !ok || slope != 2 || !math.IsInf(tstat, 1) {
+		t.Fatalf("perfect line: slope=%v t=%v ok=%v", slope, tstat, ok)
+	}
+	// Noisy upward trend: still significant.
+	ys = []float64{1, 2.8, 5.3, 6.9, 9.2}
+	if !SlopeSignificantlyPositive(xs, ys, 0.05) {
+		t.Fatal("clear upward trend should be significant")
+	}
+	// Flat/noise: not significant.
+	ys = []float64{5, 4.9, 5.2, 4.8, 5.1}
+	if SlopeSignificantlyPositive(xs, ys, 0.05) {
+		t.Fatal("flat series must not be significant")
+	}
+	// Decreasing: never positive.
+	ys = []float64{9, 7, 5, 3, 1}
+	if SlopeSignificantlyPositive(xs, ys, 0.5) {
+		t.Fatal("negative slope must not pass")
+	}
+	// Too few points.
+	if _, _, _, ok := SlopeTStat(xs[:2], ys[:2]); ok {
+		t.Fatal("n<3 must fail")
+	}
+	// Zero x spread.
+	if _, _, _, ok := SlopeTStat([]float64{1, 1, 1}, []float64{1, 2, 3}); ok {
+		t.Fatal("no x spread must fail")
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("bounds")
+	}
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if math.Abs(RegIncBeta(1, 1, x)-x) > 1e-9 {
+			t.Fatalf("I_%v(1,1) = %v", x, RegIncBeta(1, 1, x))
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	f := func(a8, b8 uint8, x float64) bool {
+		a := float64(a8%20) + 0.5
+		b := float64(b8%20) + 0.5
+		x = math.Abs(math.Mod(x, 1))
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return math.Abs(lhs-rhs) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	l := NewLogistic(2)
+	r := rand.New(rand.NewSource(3))
+	// Label = x0 > x1.
+	for i := 0; i < 4000; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		l.Train(x, x[0] > x[1])
+	}
+	correct := 0
+	for i := 0; i < 500; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		if l.Predict(x, 0.5) == (x[0] > x[1]) {
+			correct++
+		}
+	}
+	if correct < 400 {
+		t.Fatalf("classifier accuracy %d/500 too low", correct)
+	}
+	if l.Seen != 4000 {
+		t.Fatalf("seen = %d", l.Seen)
+	}
+}

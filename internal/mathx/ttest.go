@@ -1,0 +1,200 @@
+package mathx
+
+import "math"
+
+// Sample summarises one side of a two-sample test: n observations with the
+// given mean and sample variance. It is what Query Store hands the
+// validator for a (query, plan, metric) triple.
+type Sample struct {
+	N        int64
+	Mean     float64
+	Variance float64
+}
+
+// FromWelford converts an accumulator into a Sample.
+func FromWelford(w Welford) Sample {
+	return Sample{N: w.N, Mean: w.Mean, Variance: w.Variance()}
+}
+
+// WelchResult reports the outcome of a Welch two-sample t-test.
+type WelchResult struct {
+	T  float64 // t statistic (a.Mean - b.Mean direction)
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// Welch runs Welch's unequal-variance t-test between samples a and b
+// (Welch 1947 [42]). It returns ok=false when either side has fewer than
+// two observations, in which case no significance can be claimed — the
+// validator treats that as "not enough evidence, do not revert".
+func Welch(a, b Sample) (WelchResult, bool) {
+	if a.N < 2 || b.N < 2 {
+		return WelchResult{}, false
+	}
+	va := a.Variance / float64(a.N)
+	vb := b.Variance / float64(b.N)
+	se := va + vb
+	if se <= 0 {
+		// Zero variance on both sides: identical constants. Degenerate, but
+		// a mean difference is then exact.
+		if a.Mean == b.Mean {
+			return WelchResult{T: 0, DF: float64(a.N + b.N - 2), P: 1}, true
+		}
+		return WelchResult{T: math.Inf(sign(a.Mean - b.Mean)), DF: float64(a.N + b.N - 2), P: 0}, true
+	}
+	t := (a.Mean - b.Mean) / math.Sqrt(se)
+	df := se * se / (va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	p := 2 * StudentTSurvival(math.Abs(t), df)
+	return WelchResult{T: t, DF: df, P: p}, true
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTSurvival returns P(T > t) for a Student-t variable with df
+// degrees of freedom, t >= 0, via the regularised incomplete beta function.
+func StudentTSurvival(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularised incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// SlopeTStat fits least-squares y = a + b*x over the points and returns the
+// t-statistic of the slope b (b / SE(b)) together with the slope itself and
+// the degrees of freedom (n-2). The MI recommender uses this as the
+// "statistically-robust measure of the positive gradient of impact scores
+// over time" (§5.2): a candidate qualifies when the slope's t exceeds a
+// configured threshold. ok is false when n < 3 or x has no spread.
+func SlopeTStat(xs, ys []float64) (slope, t, df float64, ok bool) {
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		return 0, 0, 0, false
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx := sx / float64(n)
+	my := sy / float64(n)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, 0, false
+	}
+	slope = sxy / sxx
+	intercept := my - slope*mx
+	var sse float64
+	for i := 0; i < n; i++ {
+		r := ys[i] - (intercept + slope*xs[i])
+		sse += r * r
+	}
+	df = float64(n - 2)
+	mse := sse / df
+	if mse <= 0 {
+		// Perfect fit: slope sign alone decides; report a huge t.
+		if slope == 0 {
+			return 0, 0, df, true
+		}
+		return slope, math.Inf(sign(slope)), df, true
+	}
+	se := math.Sqrt(mse / sxx)
+	return slope, slope / se, df, true
+}
+
+// SlopeSignificantlyPositive reports whether the regression slope over the
+// (x, y) points is positive with one-sided p below alpha.
+func SlopeSignificantlyPositive(xs, ys []float64, alpha float64) bool {
+	slope, t, df, ok := SlopeTStat(xs, ys)
+	if !ok || slope <= 0 {
+		return false
+	}
+	if math.IsInf(t, 1) {
+		return true
+	}
+	return StudentTSurvival(t, df) < alpha
+}

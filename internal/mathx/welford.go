@@ -1,0 +1,56 @@
+// Package mathx implements the statistical machinery the paper's service
+// relies on: Welford accumulation of execution metrics (what Query Store
+// tracks), the Welch t-test used by the validator (§6) and the B-instance
+// experiments (§7.3), the regression-slope t-statistic used by the
+// Missing-Index recommender (§5.2), and a small online logistic-regression
+// classifier used to filter low-impact MI candidates.
+package mathx
+
+import "math"
+
+// Welford accumulates count, mean and variance of a stream of observations
+// in one pass. Query Store stores exactly these aggregates per metric per
+// plan per interval.
+type Welford struct {
+	N    int64
+	Mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.m2 += d * (x - w.Mean)
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel update).
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	d := o.Mean - w.Mean
+	w.m2 += o.m2 + d*d*float64(w.N)*float64(o.N)/float64(n)
+	w.Mean = (w.Mean*float64(w.N) + o.Mean*float64(o.N)) / float64(n)
+	w.N = n
+}
+
+// Variance returns the sample variance (n-1 denominator); 0 when n < 2.
+func (w *Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.N-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Sum returns the total of all observations.
+func (w *Welford) Sum() float64 { return w.Mean * float64(w.N) }

@@ -1,0 +1,190 @@
+package optimizer
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"autoindex/internal/dmv"
+	"autoindex/internal/schema"
+	"autoindex/internal/sqlparser"
+)
+
+// Emission thresholds: a candidate is surfaced only when the ideal index
+// would shave a meaningful amount of the query's cost, mirroring the MI
+// feature's bar for populating the DMVs.
+const (
+	miMinAbsImprovement = 1.0 // cost units
+	miMinPctImprovement = 5.0 // percent of the whole query's cost
+	miMaxIncludeColumns = 16
+)
+
+// emitMissingIndexes performs the MI feature's local analysis: for every
+// base-table access in the final plan, estimate how much an ideal
+// (covering, fully-seekable) index on that table's sargable predicates
+// would improve this query, and surface candidates above the threshold.
+// Per the documented limitations [23], the analysis is per-access ("leaf
+// node"), considers only the table's own predicates (never join, GROUP BY
+// or ORDER BY columns as keys), and knows nothing about maintenance cost.
+func (o *Optimizer) emitMissingIndexes(stmt sqlparser.Statement, p *Plan) {
+	// Inserts, and updates/deletes without predicates, are never analyzed
+	// (§5.2).
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt, *sqlparser.BulkInsertStmt:
+		return
+	case *sqlparser.UpdateStmt:
+		if len(s.Where) == 0 {
+			return
+		}
+	case *sqlparser.DeleteStmt:
+		if len(s.Where) == 0 {
+			return
+		}
+	}
+	queryHash := stmt.Fingerprint()
+	totalCost := math.Max(p.EstCost, 1e-9)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case KindSeqScan, KindIndexScan, KindIndexSeek:
+			o.analyzeAccess(n, queryHash, totalCost)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+}
+
+func (o *Optimizer) analyzeAccess(n *Node, queryHash uint64, totalCost float64) {
+	t, ok := o.Cat.Table(n.Table)
+	if !ok {
+		return
+	}
+	// Gather this access's predicates by class.
+	var eqCols, ineqCols []string
+	sargable := false
+	addCol := func(list *[]string, col string) {
+		for _, c := range *list {
+			if strings.EqualFold(c, col) {
+				return
+			}
+		}
+		*list = append(*list, col)
+	}
+	classify := func(preds []sqlparser.Predicate) {
+		for _, pr := range preds {
+			switch {
+			case pr.Op.IsEquality():
+				addCol(&eqCols, pr.Col.Column)
+				sargable = true
+			case pr.Op.IsRange():
+				addCol(&ineqCols, pr.Col.Column)
+				sargable = true
+			}
+		}
+	}
+	classify(n.SeekEq)
+	classify(n.SeekRange)
+	classify(n.Residual)
+	if !sargable {
+		return
+	}
+	// A covering seek whose sargable predicates are all matched to the key
+	// is already served adequately — there is no *missing* index, only a
+	// marginally narrower one. The real MI feature does not report these.
+	if n.Kind == KindIndexSeek && !n.Lookup {
+		residualSargable := false
+		for _, pr := range n.Residual {
+			if pr.Op.IsEquality() || pr.Op.IsRange() {
+				residualSargable = true
+			}
+		}
+		if !residualSargable {
+			return
+		}
+	}
+
+	// INCLUDE columns: everything the access must produce beyond the
+	// predicate columns. For a scan node that is approximated by the
+	// residual predicate columns plus, when a lookup happens, the clustered
+	// key; richer projection tracking is not visible at this level, so
+	// include what we can observe.
+	inThePredicate := func(col string) bool {
+		for _, c := range eqCols {
+			if strings.EqualFold(c, col) {
+				return true
+			}
+		}
+		for _, c := range ineqCols {
+			if strings.EqualFold(c, col) {
+				return true
+			}
+		}
+		return false
+	}
+	var include []string
+	for _, pr := range n.Residual {
+		if !inThePredicate(pr.Col.Column) {
+			addCol(&include, pr.Col.Column)
+		}
+	}
+	if n.Lookup || n.Kind == KindSeqScan {
+		for _, pk := range t.Def.PrimaryKey {
+			if !inThePredicate(pk) {
+				addCol(&include, pk)
+			}
+		}
+	}
+	if len(include) > miMaxIncludeColumns {
+		include = include[:miMaxIncludeColumns]
+	}
+
+	// Cost the ideal index: all equality columns as leading keys, one
+	// inequality column next, everything else included (covering).
+	keyCols := append([]string(nil), eqCols...)
+	restIncl := append([]string(nil), include...)
+	if len(ineqCols) > 0 {
+		keyCols = append(keyCols, ineqCols[0])
+		for _, c := range ineqCols[1:] {
+			addCol(&restIncl, c)
+		}
+	}
+	ideal := schema.IndexDef{
+		Name:            "mi_hypothetical",
+		Table:           n.Table,
+		KeyColumns:      keyCols,
+		IncludedColumns: restIncl,
+		Hypothetical:    true,
+	}
+	info := HypotheticalIndexInfo(ideal, t)
+
+	// Estimate rows matched by the seekable predicates.
+	sel := 1.0
+	count := 0
+	for _, preds := range [][]sqlparser.Predicate{n.SeekEq, n.SeekRange, n.Residual} {
+		for _, pr := range preds {
+			if pr.Op.IsEquality() || (pr.Op.IsRange() && count < len(eqCols)+1) {
+				sel *= o.selectivity(n.Table, pr, pr.Col.Column)
+				count++
+			}
+		}
+	}
+	seekRows := float64(t.RowCount) * sel
+	idealCost := float64(info.Height) + math.Max(1, float64(info.LeafPages)*sel) + seekRows*CPUPerRow
+
+	current := n.EstCost
+	improvement := current - idealCost
+	pct := improvement / totalCost * 100
+	if improvement < miMinAbsImprovement || pct < miMinPctImprovement {
+		return
+	}
+	sort.Strings(include)
+	cand := dmv.Candidate{
+		Table:      t.Def.Name,
+		Equality:   eqCols,
+		Inequality: ineqCols,
+		Include:    include,
+	}
+	o.MI.ObserveMissingIndex(cand, queryHash, totalCost, math.Min(pct, 100))
+}

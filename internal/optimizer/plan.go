@@ -1,0 +1,240 @@
+package optimizer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"autoindex/internal/sqlparser"
+)
+
+// Cost model weights. Estimated and actual costs use the same units — one
+// unit per logical page read, CPUPerRow units per row of CPU work — so the
+// optimizer's estimate and the executor's measurement are directly
+// comparable. The divergence between them comes from cardinality errors,
+// not unit mismatches.
+const (
+	// CPUPerRow is the CPU charge for processing one row in an operator.
+	CPUPerRow = 0.002
+	// CPUPerCompare is the extra CPU charge per comparison in sorts.
+	CPUPerCompare = 0.001
+	// HashBuildPerRow is the CPU charge per row on a hash-build side.
+	HashBuildPerRow = 0.004
+	// RandomPageFactor penalises random page access (lookups) relative to
+	// sequential scans.
+	RandomPageFactor = 2.0
+)
+
+// NodeKind enumerates physical operators.
+type NodeKind int
+
+// Physical operator kinds.
+const (
+	KindSeqScan NodeKind = iota
+	KindIndexSeek
+	KindIndexScan
+	KindSort
+	KindHashJoin
+	KindNLJoin
+	KindHashAgg
+	KindScalarAgg
+	KindTop
+	KindProject
+	KindInsert
+	KindUpdate
+	KindDelete
+)
+
+// String names the operator.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSeqScan:
+		return "SeqScan"
+	case KindIndexSeek:
+		return "IndexSeek"
+	case KindIndexScan:
+		return "IndexScan"
+	case KindSort:
+		return "Sort"
+	case KindHashJoin:
+		return "HashJoin"
+	case KindNLJoin:
+		return "NestedLoops"
+	case KindHashAgg:
+		return "HashAggregate"
+	case KindScalarAgg:
+		return "ScalarAggregate"
+	case KindTop:
+		return "Top"
+	case KindProject:
+		return "Project"
+	case KindInsert:
+		return "Insert"
+	case KindUpdate:
+		return "Update"
+	case KindDelete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one operator in a physical plan tree.
+type Node struct {
+	Kind  NodeKind
+	Table string // base table name for access/write nodes
+	Alias string // binding alias for access nodes
+	Index string // index name for seeks/scans
+
+	// SeekEq holds the equality predicates matched to the index key
+	// prefix; SeekRange the (at most two: lower/upper) range predicates on
+	// the following key column; Residual the predicates evaluated after
+	// fetching.
+	SeekEq    []sqlparser.Predicate
+	SeekRange []sqlparser.Predicate
+	Residual  []sqlparser.Predicate
+
+	// Lookup is set when a non-covering seek must fetch the base row.
+	Lookup bool
+
+	// Join fields (left child is outer/probe, right child is inner/build).
+	JoinLeft  sqlparser.ColRef
+	JoinRight sqlparser.ColRef
+
+	GroupBy []sqlparser.ColRef
+	Items   []sqlparser.SelectItem
+	OrderBy []sqlparser.OrderItem
+	TopN    int
+
+	// Write fields.
+	WriteRows    float64  // estimated affected rows
+	MaintIndexes []string // indexes maintained by the write
+	Set          []sqlparser.Assignment
+
+	Children []*Node
+
+	// EstRows is the estimated output cardinality; EstCost the cumulative
+	// estimated cost of the subtree.
+	EstRows float64
+	EstCost float64
+}
+
+// Plan is a complete physical plan for one statement.
+type Plan struct {
+	Stmt    sqlparser.Statement
+	Root    *Node
+	EstCost float64
+	EstRows float64
+	// IndexesUsed lists every index referenced anywhere in the plan,
+	// including those maintained by writes. It feeds the Query Store plan
+	// fingerprint that the validator's plan-change filter inspects.
+	IndexesUsed []string
+	PlanHash    uint64
+}
+
+// shape serialises the plan's structure (operators, tables, indexes — not
+// literals) for hashing and explain output.
+func (n *Node) shape(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Kind.String())
+	if n.Table != "" {
+		b.WriteString(" ")
+		b.WriteString(strings.ToLower(n.Table))
+	}
+	if n.Index != "" {
+		b.WriteString(" [")
+		b.WriteString(strings.ToLower(n.Index))
+		b.WriteString("]")
+	}
+	if n.Lookup {
+		b.WriteString(" +lookup")
+	}
+	if len(n.SeekEq)+len(n.SeekRange) > 0 {
+		b.WriteString(" seek(")
+		for i, p := range n.SeekEq {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(strings.ToLower(p.Col.Column))
+		}
+		for _, p := range n.SeekRange {
+			b.WriteString(";")
+			b.WriteString(strings.ToLower(p.Col.Column))
+			b.WriteString(p.Op.String())
+		}
+		b.WriteString(")")
+	}
+	for _, m := range n.MaintIndexes {
+		b.WriteString(" maint[")
+		b.WriteString(strings.ToLower(m))
+		b.WriteString("]")
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		c.shape(b, depth+1)
+	}
+}
+
+// Shape returns the plan's structural serialisation.
+func (p *Plan) Shape() string {
+	var b strings.Builder
+	p.Root.shape(&b, 0)
+	return b.String()
+}
+
+// Explain renders the plan with estimates, for recommendation details and
+// debugging.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Kind.String())
+		if n.Table != "" {
+			fmt.Fprintf(&b, " %s", n.Table)
+		}
+		if n.Index != "" {
+			fmt.Fprintf(&b, " [%s]", n.Index)
+		}
+		if n.Lookup {
+			b.WriteString(" +lookup")
+		}
+		fmt.Fprintf(&b, "  (rows=%.1f cost=%.2f)\n", n.EstRows, n.EstCost)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return b.String()
+}
+
+// computeHash fills PlanHash and IndexesUsed from the tree.
+func (p *Plan) finalize() {
+	h := fnv.New64a()
+	seen := make(map[string]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Index != "" && !seen[strings.ToLower(n.Index)] {
+			seen[strings.ToLower(n.Index)] = true
+			p.IndexesUsed = append(p.IndexesUsed, n.Index)
+		}
+		for _, m := range n.MaintIndexes {
+			if !seen[strings.ToLower(m)] {
+				seen[strings.ToLower(m)] = true
+				p.IndexesUsed = append(p.IndexesUsed, m)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if p.Root != nil {
+		walk(p.Root)
+		h.Write([]byte(p.Shape()))
+	}
+	p.PlanHash = h.Sum64()
+	if p.Root != nil {
+		p.EstCost = p.Root.EstCost
+		p.EstRows = p.Root.EstRows
+	}
+}

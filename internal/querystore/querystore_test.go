@@ -1,0 +1,141 @@
+package querystore
+
+import (
+	"testing"
+	"time"
+
+	"autoindex/internal/sim"
+)
+
+func record(s *Store, qh, ph uint64, cpu float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Record(qh, "SELECT x", false, false,
+			PlanInfo{PlanHash: ph, IndexesUsed: []string{"ix1"}},
+			Measurement{CPUMillis: cpu, LogicalReads: cpu * 2, DurationMillis: cpu * 3})
+	}
+}
+
+func TestRecordAndAggregate(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	record(s, 1, 10, 5, 4)
+	clock.Advance(30 * time.Minute)
+	record(s, 1, 10, 7, 2)
+
+	q, ok := s.Query(1)
+	if !ok || len(q.Plans) != 1 {
+		t.Fatalf("query entry: %+v", q)
+	}
+	p := q.Plans[10]
+	// Same interval (hour): one IntervalStats with 6 executions.
+	if len(p.Intervals) != 1 || p.Intervals[0].Count != 6 {
+		t.Fatalf("intervals: %+v", p.Intervals)
+	}
+	clock.Advance(time.Hour)
+	record(s, 1, 10, 9, 3)
+	if len(q.Plans[10].Intervals) != 2 {
+		t.Fatal("new interval expected after an hour")
+	}
+	sample, ok := s.QueryWindowSample(1, MetricCPU, time.Time{}, clock.Now().Add(time.Hour))
+	if !ok || sample.N != 9 {
+		t.Fatalf("sample: %+v %v", sample, ok)
+	}
+}
+
+func TestTopByCPUAndCoverageHelpers(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	record(s, 1, 10, 100, 5) // expensive
+	record(s, 2, 20, 1, 50)  // frequent but cheap
+	record(s, 3, 30, 10, 2)
+
+	top := s.TopByCPU(time.Time{}, 2)
+	if len(top) != 2 || top[0].QueryHash != 1 {
+		t.Fatalf("top: %+v", top)
+	}
+	total := s.TotalCPU(time.Time{})
+	if total < 500+50+20-1 || total > 600 {
+		t.Fatalf("total CPU = %v", total)
+	}
+	costs := s.Costs(time.Time{})
+	if len(costs) != 3 {
+		t.Fatalf("costs: %+v", costs)
+	}
+}
+
+func TestWindowingExcludesOutside(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	record(s, 1, 10, 5, 3)
+	mid := clock.Now().Add(time.Hour)
+	clock.Advance(2 * time.Hour)
+	record(s, 1, 10, 50, 3)
+
+	before, ok := s.QueryWindowSample(1, MetricCPU, time.Time{}, mid)
+	if !ok || before.N != 3 || before.Mean > 10 {
+		t.Fatalf("before window: %+v", before)
+	}
+	after, ok := s.QueryWindowSample(1, MetricCPU, mid, clock.Now().Add(time.Hour))
+	if !ok || after.N != 3 || after.Mean < 10 {
+		t.Fatalf("after window: %+v", after)
+	}
+	if _, ok := s.QueryWindowSample(99, MetricCPU, time.Time{}, mid); ok {
+		t.Fatal("unknown query must miss")
+	}
+}
+
+func TestPlanChangeTracking(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	s.Record(7, "q", false, false, PlanInfo{PlanHash: 1, IndexesUsed: nil}, Measurement{CPUMillis: 10})
+	clock.Advance(2 * time.Hour)
+	cut := clock.Now()
+	s.Record(7, "q", false, false, PlanInfo{PlanHash: 2, IndexesUsed: []string{"IX_new"}}, Measurement{CPUMillis: 3})
+
+	afterPlans := s.PlansInWindow(7, cut, clock.Now().Add(time.Hour))
+	if len(afterPlans) != 1 || afterPlans[0].Info.PlanHash != 2 {
+		t.Fatalf("after plans: %+v", afterPlans)
+	}
+	if !afterPlans[0].Info.UsesIndex("ix_new") {
+		t.Fatal("UsesIndex must be case-insensitive")
+	}
+	hs := s.QueriesUsingIndex("ix_new", cut, clock.Now().Add(time.Hour))
+	if len(hs) != 1 || hs[0] != 7 {
+		t.Fatalf("queries using index: %v", hs)
+	}
+	if hs := s.QueriesUsingIndex("ix_new", time.Time{}, cut); len(hs) != 0 {
+		t.Fatalf("index used before it existed: %v", hs)
+	}
+}
+
+func TestTruncationUpgrade(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	s.Record(5, "SELECT partial...", true, false, PlanInfo{PlanHash: 1}, Measurement{})
+	q, _ := s.Query(5)
+	if !q.Truncated {
+		t.Fatal("should be truncated")
+	}
+	s.Record(5, "SELECT full FROM t", false, false, PlanInfo{PlanHash: 1}, Measurement{})
+	q, _ = s.Query(5)
+	if q.Truncated || q.Text != "SELECT full FROM t" {
+		t.Fatalf("full text should win: %+v", q)
+	}
+}
+
+func TestMetricsIndependent(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock, time.Hour)
+	s.Record(1, "q", false, true, PlanInfo{PlanHash: 1}, Measurement{CPUMillis: 5, LogicalReads: 100, DurationMillis: 20})
+	end := clock.Now().Add(time.Hour)
+	cpu, _ := s.QueryWindowSample(1, MetricCPU, time.Time{}, end)
+	reads, _ := s.QueryWindowSample(1, MetricLogicalReads, time.Time{}, end)
+	dur, _ := s.QueryWindowSample(1, MetricDuration, time.Time{}, end)
+	if cpu.Mean != 5 || reads.Mean != 100 || dur.Mean != 20 {
+		t.Fatalf("metrics mixed up: %v %v %v", cpu.Mean, reads.Mean, dur.Mean)
+	}
+	costs := s.Costs(time.Time{})
+	if !costs[0].IsWrite {
+		t.Fatal("IsWrite lost")
+	}
+}

@@ -1,0 +1,277 @@
+package dta
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/value"
+)
+
+func buildDB(t *testing.T) (*engine.Database, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewClock()
+	db := engine.New(engine.DefaultConfig("dtatest", engine.TierStandard, 5), clock)
+	mustExec(t, db, `CREATE TABLE sales (id BIGINT NOT NULL, store BIGINT, sku BIGINT, qty BIGINT, total FLOAT, PRIMARY KEY (id))`)
+	mustExec(t, db, `CREATE TABLE stores (id BIGINT NOT NULL, region VARCHAR, mgr VARCHAR, PRIMARY KEY (id))`)
+	for i := 0; i < 4000; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO sales (id, store, sku, qty, total) VALUES (%d, %d, %d, %d, %d.5)`,
+			i, i%50, i%400, i%10, i))
+	}
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO stores (id, region, mgr) VALUES (%d, 'r%d', 'm%d')`, i, i%5, i))
+	}
+	db.RebuildAllStats()
+	clock.Advance(time.Hour)
+	return db, clock
+}
+
+func mustExec(t *testing.T, db *engine.Database, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func runWorkload(t *testing.T, db *engine.Database, clock *sim.VirtualClock, n int) {
+	for i := 0; i < n; i++ {
+		mustExec(t, db, fmt.Sprintf(`SELECT id, total FROM sales WHERE sku = %d`, i%400))
+		mustExec(t, db, fmt.Sprintf(`SELECT qty FROM sales WHERE store = %d AND qty > 5`, i%50))
+		if i%4 == 0 {
+			mustExec(t, db, fmt.Sprintf(
+				`SELECT s.total FROM sales s JOIN stores t ON s.store = t.id WHERE t.region = 'r%d'`, i%5))
+		}
+		if i%8 == 0 {
+			clock.Advance(10 * time.Minute)
+		}
+	}
+}
+
+func TestDTASessionEndToEnd(t *testing.T) {
+	db, clock := buildDB(t)
+	runWorkload(t, db, clock, 120)
+	opts := OptionsForTier(engine.TierStandard)
+	res, err := Run(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("expected recommendations")
+	}
+	for _, c := range res.Recommendations {
+		if !c.Def.AutoCreated || c.EstImprovement <= 0 {
+			t.Fatalf("bad candidate: %+v", c)
+		}
+	}
+	if res.EstWorkloadImprovementPct <= 0 {
+		t.Fatalf("estimated improvement: %v", res.EstWorkloadImprovementPct)
+	}
+	if res.Coverage.Fraction() <= 0 {
+		t.Fatal("coverage must be computed")
+	}
+	if res.WhatIfCalls == 0 || res.StatsCreated == 0 {
+		t.Fatalf("session accounting: calls=%d stats=%d", res.WhatIfCalls, res.StatsCreated)
+	}
+	// Reports reference the tuned statements and their impacting indexes.
+	// Reads referencing a chosen index must improve; writes may legitimately
+	// get more expensive (maintenance) as long as the workload nets out.
+	improved := 0
+	for _, r := range res.Reports {
+		if len(r.Indexes) > 0 && r.CostAfter < r.CostBefore {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("no statement reported as improved by the recommendation")
+	}
+}
+
+func TestMaxIndexesConstraint(t *testing.T) {
+	db, clock := buildDB(t)
+	runWorkload(t, db, clock, 100)
+	opts := OptionsForTier(engine.TierStandard)
+	opts.MaxIndexes = 1
+	res, err := Run(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) > 1 {
+		t.Fatalf("max-indexes violated: %d", len(res.Recommendations))
+	}
+}
+
+func TestStorageBudgetConstraint(t *testing.T) {
+	db, clock := buildDB(t)
+	runWorkload(t, db, clock, 100)
+	opts := OptionsForTier(engine.TierStandard)
+	opts.StorageBudgetBytes = 1 // nothing fits
+	res, err := Run(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 0 {
+		t.Fatalf("storage budget violated: %+v", res.Recommendations)
+	}
+}
+
+func TestWhatIfBudgetAborts(t *testing.T) {
+	db, clock := buildDB(t)
+	runWorkload(t, db, clock, 100)
+	opts := OptionsForTier(engine.TierStandard)
+	opts.MaxWhatIfCalls = 10
+	res, err := Run(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("tiny budget must abort the session")
+	}
+	if res.WhatIfCalls > 15 {
+		t.Fatalf("budget overshot: %d calls", res.WhatIfCalls)
+	}
+}
+
+func TestAbortCheckKillsSession(t *testing.T) {
+	db, clock := buildDB(t)
+	runWorkload(t, db, clock, 60)
+	opts := OptionsForTier(engine.TierStandard)
+	calls := 0
+	opts.AbortCheck = func() bool {
+		calls++
+		return calls > 2
+	}
+	res, err := Run(db, opts)
+	if err != ErrAborted {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	if !res.Aborted {
+		t.Fatal("result must be marked aborted")
+	}
+	// Hypothetical indexes must have been cleaned up.
+	for _, ix := range db.IndexDefs() {
+		if ix.Hypothetical {
+			t.Fatalf("hypothetical index leaked: %+v", ix)
+		}
+	}
+}
+
+func TestTruncatedTextRecoveredFromPlanCache(t *testing.T) {
+	clock := sim.NewClock()
+	cfg := engine.DefaultConfig("trunc", engine.TierStandard, 5)
+	cfg.TruncateTextOver = 60 // aggressive truncation
+	db := engine.New(cfg, clock)
+	mustExec(t, db, `CREATE TABLE wide_table_name (id BIGINT NOT NULL, attribute_one BIGINT, attribute_two BIGINT, PRIMARY KEY (id))`)
+	for i := 0; i < 1000; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO wide_table_name (id, attribute_one, attribute_two) VALUES (%d, %d, %d)`, i, i%20, i%30))
+	}
+	db.RebuildAllStats()
+	clock.Advance(time.Hour)
+	long := `SELECT id, attribute_two FROM wide_table_name WHERE attribute_one = %d AND attribute_two >= %d`
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf(long, i%20, i%5))
+	}
+	// Query Store stored a truncated fragment...
+	top := db.QueryStore().TopByCPU(time.Time{}, 5)
+	foundTruncated := false
+	for _, q := range top {
+		if q.Truncated {
+			foundTruncated = true
+		}
+	}
+	if !foundTruncated {
+		t.Fatal("precondition: expected a truncated statement")
+	}
+	// ...but DTA recovers it from the plan cache and tunes it.
+	res, err := Run(db, OptionsForTier(engine.TierStandard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports {
+		if r.Skipped != "" && strings.Contains(r.Skipped, "truncated") {
+			t.Fatalf("truncated statement not recovered: %+v", r)
+		}
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("expected recommendations from recovered statements")
+	}
+}
+
+func TestBulkInsertRewritten(t *testing.T) {
+	db, clock := buildDB(t)
+	next := int64(100000)
+	db.RegisterBulkSource("feed", func(n int64) []value.Row {
+		rows := make([]value.Row, n)
+		for i := range rows {
+			next++
+			rows[i] = value.Row{
+				value.NewInt(next), value.NewInt(0), value.NewInt(0),
+				value.NewInt(0), value.NewFloat(0),
+			}
+		}
+		return rows
+	})
+	// Bulk inserts dominate CPU so they reach DTA's top-K.
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, `BULK INSERT sales FROM DATASOURCE feed`)
+		clock.Advance(30 * time.Minute)
+	}
+	runWorkload(t, db, clock, 30)
+	res, err := Run(db, OptionsForTier(engine.TierStandard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := false
+	for _, r := range res.Reports {
+		if r.Rewritten {
+			rewritten = true
+		}
+	}
+	if !rewritten {
+		t.Fatal("BULK INSERT should be rewritten and costed")
+	}
+}
+
+func TestSampledStatsReductionAblation(t *testing.T) {
+	db1, clock1 := buildDB(t)
+	runWorkload(t, db1, clock1, 80)
+	optsReduced := OptionsForTier(engine.TierStandard)
+	optsReduced.ReduceSampledStats = true
+	r1, err := Run(db1, optsReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, clock2 := buildDB(t)
+	runWorkload(t, db2, clock2, 80)
+	optsFull := OptionsForTier(engine.TierStandard)
+	optsFull.ReduceSampledStats = false
+	r2, err := Run(db2, optsFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StatsCreated >= r2.StatsCreated {
+		t.Fatalf("reduction must create fewer stats: %d vs %d", r1.StatsCreated, r2.StatsCreated)
+	}
+	// Quality is preserved: both find recommendations.
+	if len(r1.Recommendations) == 0 || len(r2.Recommendations) == 0 {
+		t.Fatalf("recommendation counts: %d vs %d", len(r1.Recommendations), len(r2.Recommendations))
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	db, _ := buildDB(t)
+	// Window in the future: no statements.
+	opts := OptionsForTier(engine.TierStandard)
+	opts.WindowN = time.Nanosecond
+	res, err := Run(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 0 {
+		t.Fatal("no workload, no recommendations")
+	}
+}

@@ -1,0 +1,163 @@
+package dta
+
+import (
+	"strings"
+
+	"autoindex/internal/core"
+	"autoindex/internal/engine"
+)
+
+// enumerate runs the greedy workload-level search: repeatedly add the
+// candidate with the largest marginal benefit to the configuration, under
+// the max-index and storage-budget constraints, until the marginal gain is
+// negligible. Per-statement costs are cached and only statements touching
+// the tested candidate's table are re-costed, keeping the what-if call
+// count within budget.
+func enumerate(db *engine.Database, session *engine.WhatIfSession,
+	workload []tunedStatement, candidates []core.Candidate, opts Options, res *Result,
+) (chosen []core.Candidate, baseline, finalCost float64, err error) {
+	// Baseline per-statement costs under the existing configuration.
+	cur := make([]float64, len(workload))
+	for i, ts := range workload {
+		c, _, err := session.Cost(ts.stmt)
+		if err != nil {
+			if err == engine.ErrWhatIfBudget {
+				return nil, 0, 0, err
+			}
+			// Statement not costable in what-if mode; exclude from search.
+			cur[i] = 0
+			continue
+		}
+		cur[i] = c * ts.weight
+		baseline += cur[i]
+	}
+	finalCost = baseline
+
+	// Statement → tables index for relevance pruning.
+	stmtTables := make([]map[string]bool, len(workload))
+	for i, ts := range workload {
+		tbls := make(map[string]bool)
+		for t := range analyzeStatement(db, ts.stmt) {
+			tbls[t] = true
+		}
+		stmtTables[i] = tbls
+	}
+
+	var usedBytes int64
+	remaining := append([]core.Candidate(nil), candidates...)
+	for len(chosen) < opts.MaxIndexes && len(remaining) > 0 {
+		if opts.AbortCheck != nil && opts.AbortCheck() {
+			return chosen, baseline, finalCost, ErrAborted
+		}
+		bestIdx := -1
+		var bestGain float64
+		var bestNewCosts map[int]float64
+		for ci, cand := range remaining {
+			if opts.StorageBudgetBytes > 0 && usedBytes+cand.EstSizeBytes > opts.StorageBudgetBytes {
+				continue
+			}
+			table := strings.ToLower(cand.Def.Table)
+			session.Catalog().AddHypothetical(cand.Def)
+			gain := 0.0
+			newCosts := make(map[int]float64)
+			budgetHit := false
+			for i, ts := range workload {
+				if !stmtTables[i][table] || cur[i] == 0 {
+					continue
+				}
+				c, _, err := session.Cost(ts.stmt)
+				if err != nil {
+					if err == engine.ErrWhatIfBudget {
+						budgetHit = true
+						break
+					}
+					continue
+				}
+				w := c * ts.weight
+				newCosts[i] = w
+				gain += cur[i] - w
+			}
+			session.Catalog().RemoveHypothetical(cand.Def.Name)
+			if budgetHit {
+				// Out of budget: settle for what has been found so far.
+				if bestIdx >= 0 {
+					break
+				}
+				return chosen, baseline, finalCost, engine.ErrWhatIfBudget
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = ci
+				bestNewCosts = newCosts
+			}
+		}
+		if bestIdx < 0 || bestGain < opts.MinImprovementFraction*baseline {
+			break
+		}
+		winner := remaining[bestIdx]
+		winner.EstImprovement = bestGain
+		if baseline > 0 {
+			winner.EstImprovementPct = bestGain / baseline * 100
+		}
+		chosen = append(chosen, winner)
+		usedBytes += winner.EstSizeBytes
+		session.Catalog().AddHypothetical(winner.Def)
+		for i, c := range bestNewCosts {
+			cur[i] = c
+		}
+		finalCost -= bestGain
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chosen, baseline, finalCost, nil
+}
+
+// truncateText bounds report text (a rewritten bulk insert renders as a
+// thousand-row statement otherwise).
+func truncateText(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// buildReports fills per-statement reports (§5.3.2: DTA "emits detailed
+// reports specifying which statements it analyzed and which indexes in the
+// recommendation will impact which statement") and analyzed coverage.
+func (res *Result) buildReports(db *engine.Database, session *engine.WhatIfSession,
+	workload []tunedStatement, chosen []core.Candidate,
+) {
+	chosenNames := make(map[string]bool, len(chosen))
+	for _, c := range chosen {
+		chosenNames[strings.ToLower(c.Def.Name)] = true
+	}
+	for _, ts := range workload {
+		r := StatementReport{
+			QueryHash:  ts.hash,
+			Text:       truncateText(ts.stmt.SQL(), 300),
+			Executions: int64(ts.weight),
+			Rewritten:  ts.rewritten,
+		}
+		res.Coverage.AnalyzedCPU += ts.cpu
+		// Final-configuration cost and impacted indexes (the chosen set is
+		// still in the session catalog after enumeration).
+		if after, plan, err := session.Cost(ts.stmt); err == nil {
+			r.CostAfter = after
+			for _, ix := range plan.IndexesUsed {
+				if chosenNames[strings.ToLower(ix)] {
+					r.Indexes = append(r.Indexes, ix)
+				}
+			}
+		}
+		// Cost under the original configuration.
+		for _, c := range chosen {
+			session.Catalog().RemoveHypothetical(c.Def.Name)
+		}
+		if before, _, err := session.Cost(ts.stmt); err == nil {
+			r.CostBefore = before
+		}
+		for _, c := range chosen {
+			session.Catalog().AddHypothetical(c.Def)
+		}
+		res.Reports = append(res.Reports, r)
+	}
+}

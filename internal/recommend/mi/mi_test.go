@@ -1,0 +1,219 @@
+package mi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+)
+
+// buildDB creates a database with a scan-heavy workload that generates
+// missing-index candidates.
+func buildDB(t *testing.T) (*engine.Database, *sim.VirtualClock) {
+	t.Helper()
+	clock := sim.NewClock()
+	db := engine.New(engine.DefaultConfig("mitest", engine.TierBasic, 3), clock)
+	mustExec(t, db, `CREATE TABLE hits (id BIGINT NOT NULL, site BIGINT, code BIGINT, bytes FLOAT, PRIMARY KEY (id))`)
+	for i := 0; i < 3000; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO hits (id, site, code, bytes) VALUES (%d, %d, %d, %d.5)`,
+			i, i%300, i%10, i))
+	}
+	db.RebuildAllStats()
+	return db, clock
+}
+
+func mustExec(t *testing.T, db *engine.Database, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+// churn runs the candidate-generating query repeatedly.
+func churn(t *testing.T, db *engine.Database, n int) {
+	for i := 0; i < n; i++ {
+		mustExec(t, db, fmt.Sprintf(`SELECT id, bytes FROM hits WHERE site = %d`, i%300))
+	}
+}
+
+func TestRecommendPipeline(t *testing.T) {
+	db, clock := buildDB(t)
+	r := New(db, DefaultConfig())
+	for s := 0; s < 4; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	cands := r.Recommend()
+	if len(cands) == 0 {
+		t.Fatal("expected recommendations")
+	}
+	c := cands[0]
+	if !strings.EqualFold(c.Def.Table, "hits") {
+		t.Fatalf("wrong table: %+v", c.Def)
+	}
+	if !strings.EqualFold(c.Def.KeyColumns[0], "site") {
+		t.Fatalf("key should be site: %+v", c.Def)
+	}
+	if !c.Def.AutoCreated {
+		t.Fatal("must be marked auto-created")
+	}
+	if c.EstImprovement <= 0 || c.EstSizeBytes <= 0 || len(c.Features) == 0 {
+		t.Fatalf("missing estimates: %+v", c)
+	}
+	if len(c.ImpactedQueries) == 0 {
+		t.Fatal("impacted queries missing")
+	}
+}
+
+func TestSlopeTestRequiresGrowth(t *testing.T) {
+	db, clock := buildDB(t)
+	r := New(db, DefaultConfig())
+	// Activity happens once; later snapshots see a flat cumulative score.
+	churn(t, db, 30)
+	for s := 0; s < 5; s++ {
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	if cands := r.Recommend(); len(cands) != 0 {
+		t.Fatalf("flat impact must not be recommended: %+v", cands)
+	}
+	// Continued growth passes.
+	for s := 0; s < 3; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	if cands := r.Recommend(); len(cands) == 0 {
+		t.Fatal("growing impact must be recommended")
+	}
+}
+
+func TestSnapshotResetTolerance(t *testing.T) {
+	db, clock := buildDB(t)
+	r := New(db, DefaultConfig())
+	for s := 0; s < 2; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	// Failover resets the DMV; the recommender's cumulative history must
+	// keep the banked score.
+	db.Failover()
+	for s := 0; s < 3; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	cands := r.Recommend()
+	if len(cands) == 0 {
+		t.Fatal("reset tolerance failed: no recommendation after failover")
+	}
+}
+
+func TestMinSeeksFiltersAdHoc(t *testing.T) {
+	db, clock := buildDB(t)
+	cfg := DefaultConfig()
+	cfg.MinSeeks = 1000
+	r := New(db, cfg)
+	for s := 0; s < 4; s++ {
+		churn(t, db, 20)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	if cands := r.Recommend(); len(cands) != 0 {
+		t.Fatalf("ad-hoc filter failed: %+v", cands)
+	}
+}
+
+func TestExistingIndexNotRerecommended(t *testing.T) {
+	db, clock := buildDB(t)
+	r := New(db, DefaultConfig())
+	for s := 0; s < 4; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	cands := r.Recommend()
+	if len(cands) == 0 {
+		t.Fatal("precondition: need a recommendation")
+	}
+	def := cands[0].Def
+	if err := db.CreateIndex(def, engine.IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Recommend again: the same key must not reappear.
+	for _, c := range r.Recommend() {
+		if c.Def.SameKey(def) && strings.EqualFold(c.Def.Table, def.Table) {
+			t.Fatalf("recommended an existing index: %+v", c.Def)
+		}
+	}
+}
+
+func TestClassifierTrainsAndFilters(t *testing.T) {
+	db, clock := buildDB(t)
+	cfg := DefaultConfig()
+	cfg.ClassifierThreshold = 0.5
+	r := New(db, cfg)
+	for s := 0; s < 4; s++ {
+		churn(t, db, 30)
+		clock.Advance(time.Hour)
+		r.TakeSnapshot()
+	}
+	before := r.Recommend()
+	if len(before) == 0 {
+		t.Fatal("precondition")
+	}
+	// Train the classifier that everything like this regresses.
+	for i := 0; i < 60; i++ {
+		r.TrainFromValidation(before[0].Features, false)
+	}
+	if r.ClassifierSeen() != 60 {
+		t.Fatalf("seen = %d", r.ClassifierSeen())
+	}
+	after := r.Recommend()
+	if len(after) >= len(before) {
+		t.Fatalf("trained classifier should filter: %d -> %d", len(before), len(after))
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	db, clock := buildDB(t)
+	cfg := DefaultConfig()
+	cfg.DisableSlopeTest = true
+	cfg.DisableMerging = true
+	cfg.ClassifierThreshold = 0
+	r := New(db, cfg)
+	churn(t, db, 30)
+	clock.Advance(time.Hour)
+	r.TakeSnapshot()
+	// A single snapshot normally fails MinSnapshots; with the slope test
+	// disabled it recommends immediately.
+	if cands := r.Recommend(); len(cands) == 0 {
+		t.Fatal("ablated pipeline should recommend from one snapshot")
+	}
+}
+
+func TestCoverageExcludesPredicatelessWrites(t *testing.T) {
+	db, clock := buildDB(t)
+	r := New(db, DefaultConfig())
+	// Window past the bulk data load, whose predicate-less inserts would
+	// (correctly) dominate the denominator.
+	clock.Advance(2 * time.Hour)
+	since := clock.Now()
+	churn(t, db, 10)
+	mustExec(t, db, `INSERT INTO hits (id, site, code, bytes) VALUES (999999, 1, 1, 1.0)`)
+	mustExec(t, db, `UPDATE hits SET bytes = 0.5 WHERE site = 3`)
+	clock.Advance(time.Hour)
+	cov := r.Coverage(since)
+	if cov.TotalCPU <= cov.AnalyzedCPU {
+		t.Fatalf("inserts must reduce coverage: %+v", cov)
+	}
+	if cov.Fraction() < 0.5 {
+		t.Fatalf("coverage too low: %v", cov)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sim provides the simulation substrate shared by every component:
+// a virtual clock, seeded random-number streams, and a measurement-noise
+// model. The paper's service observes databases over hours and days; with a
+// virtual clock those horizons elapse instantly and deterministically, which
+// is what makes fleet-scale experiments reproducible in tests.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the system. Production code in
+// the paper uses wall time; here everything reads the clock through this
+// interface so experiments can drive virtual time.
+type Clock interface {
+	// Now returns the current simulated time.
+	Now() time.Time
+	// Sleep advances past d. On a virtual clock this returns immediately.
+	Sleep(d time.Duration)
+}
+
+// VirtualClock is a manually advanced Clock. The zero value is not usable;
+// construct with NewVirtualClock.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// DefaultStart is the epoch used by experiments when the specific date does
+// not matter. (The paper's production experiments ran March–June 2017.)
+var DefaultStart = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// NewClock returns a virtual clock at DefaultStart.
+func NewClock() *VirtualClock { return NewVirtualClock(DefaultStart) }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d. Negative durations are ignored.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Advance is a readable alias for Sleep in test and experiment code.
+func (c *VirtualClock) Advance(d time.Duration) { c.Sleep(d) }
+
+// Set jumps the clock to t. It panics if t is before the current time,
+// since the rest of the system assumes time is monotonic.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("sim: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// WallClock adapts the real time package to the Clock interface, for
+// interactive use in the example binaries.
+type WallClock struct{}
+
+// Now returns time.Now().
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }

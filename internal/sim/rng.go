@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// RNG is a seeded random source safe for concurrent use. Components derive
+// named child streams so that adding a new consumer of randomness does not
+// perturb the draws seen by existing consumers — important for reproducible
+// fleet experiments.
+type RNG struct {
+	mu   sync.Mutex
+	rand *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Child derives an independent stream keyed by name. The derivation is
+// stable: the same parent seed and name always yield the same stream.
+func (r *RNG) Child(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewRNG(r.seed ^ int64(h.Sum64()))
+}
+
+// Seed returns the seed this stream was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.Intn(n)
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *RNG) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.Int63n(n)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.Float64()
+}
+
+// NormFloat64 returns a standard normal draw.
+func (r *RNG) NormFloat64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential draw with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.ExpFloat64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rand.Perm(n)
+}
+
+// Shuffle randomises the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rand.Shuffle(n, swap)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s > 1.
+// Skewed access patterns are what make some columns far more selective in
+// practice than uniform statistics predict — one source of optimizer error.
+type Zipf struct {
+	z *rand.Zipf
+	r *RNG
+}
+
+// NewZipf constructs a Zipf sampler over [0, n). s must be > 1.
+func (r *RNG) NewZipf(s float64, n uint64) *Zipf {
+	child := r.Child("zipf")
+	child.mu.Lock()
+	defer child.mu.Unlock()
+	return &Zipf{z: rand.NewZipf(child.rand, s, 1, n-1), r: child}
+}
+
+// Uint64 draws the next Zipf value.
+func (z *Zipf) Uint64() uint64 {
+	z.r.mu.Lock()
+	defer z.r.mu.Unlock()
+	return z.z.Uint64()
+}
+
+// Noise models the run-to-run variance of execution measurements in an
+// uncontrolled production setting (concurrency, diurnal effects). The
+// validator must see through this noise with statistical tests, exactly as
+// in the paper.
+type Noise struct {
+	rng *RNG
+	// CV is the coefficient of variation applied multiplicatively.
+	CV float64
+}
+
+// NewNoise returns a noise model with coefficient of variation cv drawing
+// from rng.
+func NewNoise(rng *RNG, cv float64) *Noise {
+	return &Noise{rng: rng.Child("noise"), CV: cv}
+}
+
+// Apply perturbs v multiplicatively: v * max(0.05, 1 + cv*N(0,1)).
+// The floor keeps perturbed costs positive.
+func (n *Noise) Apply(v float64) float64 {
+	if n == nil || n.CV == 0 {
+		return v
+	}
+	f := 1 + n.CV*n.rng.NormFloat64()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return v * f
+}
+
+// LogNormal draws a log-normal value with the given median and sigma of the
+// underlying normal. Used by workload generators for data/parameter sizes.
+func (r *RNG) LogNormal(median, sigma float64) float64 {
+	return median * math.Exp(sigma*r.NormFloat64())
+}

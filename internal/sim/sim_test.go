@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewClock()
+	start := c.Now()
+	c.Advance(90 * time.Minute)
+	if got := c.Now().Sub(start); got != 90*time.Minute {
+		t.Fatalf("advanced %v", got)
+	}
+	c.Sleep(-time.Hour) // negative sleep is ignored
+	if c.Now().Sub(start) != 90*time.Minute {
+		t.Fatal("negative sleep moved the clock")
+	}
+	c.Set(start.Add(3 * time.Hour))
+	if c.Now().Sub(start) != 3*time.Hour {
+		t.Fatal("set failed")
+	}
+}
+
+func TestVirtualClockPanicsOnBackwardsSet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards Set")
+		}
+	}()
+	c := NewClock()
+	c.Set(c.Now().Add(-time.Second))
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	// Child streams are stable and independent of sibling creation order.
+	c1 := NewRNG(42).Child("x")
+	_ = NewRNG(42).Child("y")
+	c2 := NewRNG(42).Child("x")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("child streams must be reproducible by name")
+		}
+	}
+	if NewRNG(42).Child("x").Int63n(1<<40) == NewRNG(42).Child("y").Int63n(1<<40) {
+		t.Log("different children gave the same first draw (unlikely but possible)")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(7)
+	z := r.NewZipf(1.5, 1000)
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[z.Uint64()]++
+	}
+	// Value 0 must dominate under zipf.
+	if counts[0] < draws/10 {
+		t.Fatalf("zipf head count %d too small", counts[0])
+	}
+}
+
+func TestNoiseProperties(t *testing.T) {
+	r := NewRNG(3)
+	n := NewNoise(r, 0.1)
+	var sum float64
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		v := n.Apply(100)
+		if v <= 0 {
+			t.Fatal("noise produced non-positive value")
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("noise mean %v drifted from 100", mean)
+	}
+	// Zero-CV noise is identity.
+	id := NewNoise(r, 0)
+	if id.Apply(42) != 42 {
+		t.Fatal("cv=0 must be identity")
+	}
+	var nilNoise *Noise
+	if nilNoise.Apply(42) != 42 {
+		t.Fatal("nil noise must be identity")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if math.Abs(rate-0.25) > 0.03 {
+		t.Fatalf("Bool(0.25) rate = %v", rate)
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("perm repeats")
+		}
+		seen[v] = true
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatal("shuffle lost elements")
+	}
+}

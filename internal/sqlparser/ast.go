@@ -1,0 +1,516 @@
+package sqlparser
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"autoindex/internal/schema"
+	"autoindex/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	// SQL renders the statement back to text.
+	SQL() string
+	// Fingerprint returns a stable hash of the statement template: the
+	// statement with literals replaced by placeholders. Query Store keys
+	// queries by this hash so parameterised executions aggregate together.
+	Fingerprint() uint64
+	// templateSQL renders with literals replaced by '?'.
+	templateSQL() string
+}
+
+// CompareOp is a comparison operator in a predicate.
+type CompareOp int
+
+// Supported comparison operators.
+const (
+	OpEQ CompareOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// String renders the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	default:
+		return "?op?"
+	}
+}
+
+// IsEquality reports whether the operator is equality.
+func (op CompareOp) IsEquality() bool { return op == OpEQ }
+
+// IsRange reports whether the operator defines a seekable range (the MI
+// feature calls these INEQUALITY predicates; <> is not seekable).
+func (op CompareOp) IsRange() bool {
+	return op == OpLT || op == OpLE || op == OpGT || op == OpGE
+}
+
+// ColRef references a column, optionally qualified by table or alias.
+type ColRef struct {
+	Table  string // alias or table name, may be empty
+	Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Predicate is one conjunct of a WHERE clause: column op literal.
+type Predicate struct {
+	Col ColRef
+	Op  CompareOp
+	Val value.Value
+}
+
+// SQL renders the predicate.
+func (p Predicate) SQL() string {
+	return p.Col.String() + " " + p.Op.String() + " " + p.Val.String()
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions; AggNone marks a plain column reference.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggCountCol
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount, AggCountCol:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one projected output: a column, a star, or an aggregate.
+type SelectItem struct {
+	Star bool
+	Agg  AggFunc
+	Col  ColRef // unused for Star and AggCount
+}
+
+// SQL renders the item.
+func (s SelectItem) SQL() string {
+	switch {
+	case s.Star:
+		return "*"
+	case s.Agg == AggCount:
+		return "COUNT(*)"
+	case s.Agg != AggNone:
+		return s.Agg.String() + "(" + s.Col.String() + ")"
+	default:
+		return s.Col.String()
+	}
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias if set, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// SQL renders the reference.
+func (t TableRef) SQL() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// Join is an inner equi-join clause.
+type Join struct {
+	Table TableRef
+	// Left and Right are the equated columns (left references an earlier
+	// table in the FROM chain, right the joined table).
+	Left, Right ColRef
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Top     int // 0 = no TOP
+	Items   []SelectItem
+	From    TableRef
+	Joins   []Join
+	Where   []Predicate // conjunction
+	GroupBy []ColRef
+	OrderBy []OrderItem
+}
+
+// SQL renders the statement.
+func (s *SelectStmt) SQL() string { return s.render(false) }
+
+func (s *SelectStmt) templateSQL() string { return s.render(true) }
+
+func (s *SelectStmt) render(template bool) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Top > 0 {
+		b.WriteString("TOP ")
+		if template {
+			b.WriteString("?")
+		} else {
+			b.WriteString(strconv.Itoa(s.Top))
+		}
+		b.WriteString(" ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.From.SQL())
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN ")
+		b.WriteString(j.Table.SQL())
+		b.WriteString(" ON ")
+		b.WriteString(j.Left.String())
+		b.WriteString(" = ")
+		b.WriteString(j.Right.String())
+	}
+	writeWhere(&b, s.Where, template)
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	return b.String()
+}
+
+func writeWhere(b *strings.Builder, preds []Predicate, template bool) {
+	if len(preds) == 0 {
+		return
+	}
+	b.WriteString(" WHERE ")
+	for i, p := range preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.Col.String())
+		b.WriteString(" ")
+		b.WriteString(p.Op.String())
+		b.WriteString(" ")
+		if template {
+			b.WriteString("?")
+		} else {
+			b.WriteString(p.Val.String())
+		}
+	}
+}
+
+// Fingerprint hashes the statement template.
+func (s *SelectStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// InsertStmt is an INSERT ... VALUES statement.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means all columns in table order
+	Rows    []value.Row
+}
+
+// SQL renders the statement.
+func (s *InsertStmt) SQL() string { return s.render(false) }
+
+func (s *InsertStmt) templateSQL() string { return s.render(true) }
+
+func (s *InsertStmt) render(template bool) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, r := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if template {
+			b.WriteString("(")
+			for j := range r {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString("?")
+			}
+			b.WriteString(")")
+		} else {
+			b.WriteString(r.String())
+		}
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the statement template. Multi-row inserts share the
+// fingerprint of the single-row form so batch sizes do not fragment Query
+// Store entries.
+func (s *InsertStmt) Fingerprint() uint64 {
+	one := &InsertStmt{Table: s.Table, Columns: s.Columns, Rows: s.Rows[:min(1, len(s.Rows))]}
+	return fingerprint(one)
+}
+
+// UpdateStmt is an UPDATE statement.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where []Predicate
+}
+
+// Assignment is one SET column = literal clause.
+type Assignment struct {
+	Column string
+	Val    value.Value
+}
+
+// SQL renders the statement.
+func (s *UpdateStmt) SQL() string { return s.render(false) }
+
+func (s *UpdateStmt) templateSQL() string { return s.render(true) }
+
+func (s *UpdateStmt) render(template bool) string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column)
+		b.WriteString(" = ")
+		if template {
+			b.WriteString("?")
+		} else {
+			b.WriteString(a.Val.String())
+		}
+	}
+	writeWhere(&b, s.Where, template)
+	return b.String()
+}
+
+// Fingerprint hashes the statement template.
+func (s *UpdateStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// DeleteStmt is a DELETE statement.
+type DeleteStmt struct {
+	Table string
+	Where []Predicate
+}
+
+// SQL renders the statement.
+func (s *DeleteStmt) SQL() string { return s.render(false) }
+
+func (s *DeleteStmt) templateSQL() string { return s.render(true) }
+
+func (s *DeleteStmt) render(template bool) string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	writeWhere(&b, s.Where, template)
+	return b.String()
+}
+
+// Fingerprint hashes the statement template.
+func (s *DeleteStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// BulkInsertStmt models T-SQL BULK INSERT, which the real what-if API
+// cannot optimize; DTA rewrites it into an equivalent INSERT so index
+// maintenance costs are accounted (§5.3.2).
+type BulkInsertStmt struct {
+	Table string
+	// Source names the external data source; RowEstimate is how many rows
+	// a typical execution loads.
+	Source      string
+	RowEstimate int64
+}
+
+// SQL renders the statement.
+func (s *BulkInsertStmt) SQL() string {
+	return "BULK INSERT " + s.Table + " FROM DATASOURCE " + s.Source
+}
+
+func (s *BulkInsertStmt) templateSQL() string { return s.SQL() }
+
+// Fingerprint hashes the statement template.
+func (s *BulkInsertStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// CreateTableStmt is CREATE TABLE DDL.
+type CreateTableStmt struct {
+	Table schema.Table
+}
+
+// SQL renders the statement.
+func (s *CreateTableStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(s.Table.Name)
+	b.WriteString(" (")
+	for i, c := range s.Table.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString(" ")
+		b.WriteString(c.Kind.String())
+		if !c.Nullable {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(s.Table.PrimaryKey) > 0 {
+		b.WriteString(", PRIMARY KEY (")
+		b.WriteString(strings.Join(s.Table.PrimaryKey, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (s *CreateTableStmt) templateSQL() string { return s.SQL() }
+
+// Fingerprint hashes the statement template.
+func (s *CreateTableStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// CreateIndexStmt is CREATE INDEX DDL.
+type CreateIndexStmt struct {
+	Index  schema.IndexDef
+	Online bool
+}
+
+// SQL renders the statement.
+func (s *CreateIndexStmt) SQL() string {
+	out := s.Index.String()
+	if s.Online {
+		out += " WITH (ONLINE = ON)"
+	}
+	return out
+}
+
+func (s *CreateIndexStmt) templateSQL() string { return s.SQL() }
+
+// Fingerprint hashes the statement template.
+func (s *CreateIndexStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+// DropIndexStmt is DROP INDEX DDL.
+type DropIndexStmt struct {
+	Name  string
+	Table string
+}
+
+// SQL renders the statement.
+func (s *DropIndexStmt) SQL() string {
+	return "DROP INDEX " + s.Name + " ON " + s.Table
+}
+
+func (s *DropIndexStmt) templateSQL() string { return s.SQL() }
+
+// Fingerprint hashes the statement template.
+func (s *DropIndexStmt) Fingerprint() uint64 { return fingerprint(s) }
+
+func fingerprint(s Statement) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(strings.ToLower(s.templateSQL())))
+	return h.Sum64()
+}
+
+// IsWrite reports whether the statement modifies data.
+func IsWrite(s Statement) bool {
+	switch s.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt, *BulkInsertStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+// WritePredicates returns the WHERE predicates of a write statement (nil
+// for inserts). The MI recommender analyzes missing indexes for every
+// statement "except inserts, updates, and deletes without predicates"
+// (§5.2) — this helper is how callers make that distinction.
+func WritePredicates(s Statement) []Predicate {
+	switch st := s.(type) {
+	case *UpdateStmt:
+		return st.Where
+	case *DeleteStmt:
+		return st.Where
+	default:
+		return nil
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+// Package sqlparser implements the SQL dialect understood by the engine: a
+// T-SQL-flavoured subset covering SELECT (joins, GROUP BY, ORDER BY, TOP,
+// aggregates), INSERT, UPDATE, DELETE, BULK INSERT, and index/table DDL.
+// The parser produces an AST that the optimizer plans, the Query Store
+// fingerprints, and the recommenders analyze for sargable predicates, join,
+// group-by and order-by columns.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // = < > <= >= <> !=
+	tokPunct // ( ) , * . ;
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"JOIN": true, "INNER": true, "ON": true, "GROUP": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "TOP": true, "AS": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "CLUSTERED": true, "NONCLUSTERED": true, "INCLUDE": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "COUNT": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "BULK": true,
+	"DATASOURCE": true, "BETWEEN": true, "WITH": true, "ONLINE": true,
+	"DISTINCT": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '-' || c == '+':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.lexOp()
+		case strings.ContainsRune("(),*.;?", rune(c)):
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		case c == '@' || c == '#' || c == '[':
+			// @variables, #temp tables and [bracketed idents] are lexed as
+			// identifiers; the parser decides what to do with them.
+			l.lexSpecialIdent()
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		l.toks = append(l.toks, token{tokKeyword, strings.ToUpper(text), start})
+	} else {
+		l.toks = append(l.toks, token{tokIdent, text, start})
+	}
+}
+
+func (l *lexer) lexSpecialIdent() {
+	start := l.pos
+	if l.src[l.pos] == '[' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != ']' {
+			l.pos++
+		}
+		text := l.src[start+1 : l.pos]
+		if l.pos < len(l.src) {
+			l.pos++ // consume ]
+		}
+		l.toks = append(l.toks, token{tokIdent, text, start})
+		return
+	}
+	l.pos++ // consume @ or #
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return fmt.Errorf("sqlparser: malformed number at %d", start)
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tokString, b.String(), start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string at %d", start)
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos++
+			l.toks = append(l.toks, token{tokOp, two, start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tokOp, string(c), start})
+}

@@ -1,0 +1,280 @@
+// Package stats implements column statistics: equi-depth histograms with
+// per-bucket distinct counts, built from full or sampled data. The
+// optimizer estimates predicate selectivity from these statistics, and the
+// gap between histogram-based estimates and true execution cost — sampling
+// error, staleness, correlation blindness — is precisely the failure mode
+// that makes the paper's validation step necessary.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"autoindex/internal/sim"
+	"autoindex/internal/value"
+)
+
+// DefaultBuckets is the histogram resolution.
+const DefaultBuckets = 32
+
+// Bucket is one equi-depth histogram bucket: all values v with
+// prevUpper < v <= Upper.
+type Bucket struct {
+	Upper    value.Value
+	Rows     float64
+	Distinct float64
+}
+
+// ColumnStats summarises one column's distribution.
+type ColumnStats struct {
+	Column string
+	// RowCount is the (estimated) table row count when the stats were
+	// built; sampled builds scale up by the sample rate.
+	RowCount float64
+	Nulls    float64
+	Distinct float64
+	Min, Max value.Value
+	Buckets  []Bucket
+	// SampleRate records how the stats were built (1.0 = fullscan).
+	SampleRate float64
+	// BuiltAt is when the statistics were created, for staleness checks.
+	BuiltAt time.Time
+}
+
+// Build constructs statistics from the given column values using every
+// value (full scan).
+func Build(column string, vals []value.Value, now time.Time) *ColumnStats {
+	return build(column, vals, 1.0, now)
+}
+
+// BuildSampled constructs statistics from a sample of vals at the given
+// rate. Sampling is the cheap path DTA uses ("sampled statistics", §5.3.1);
+// it introduces estimation error by design.
+func BuildSampled(column string, vals []value.Value, rate float64, rng *sim.RNG, now time.Time) *ColumnStats {
+	if rate >= 1 || len(vals) == 0 {
+		return build(column, vals, 1.0, now)
+	}
+	sampled := make([]value.Value, 0, int(float64(len(vals))*rate)+1)
+	for _, v := range vals {
+		if rng.Float64() < rate {
+			sampled = append(sampled, v)
+		}
+	}
+	if len(sampled) == 0 && len(vals) > 0 {
+		sampled = append(sampled, vals[rng.Intn(len(vals))])
+	}
+	s := build(column, sampled, rate, now)
+	// Scale counts back up to the table size.
+	scale := float64(len(vals)) / float64(maxInt(len(sampled), 1))
+	s.RowCount = float64(len(vals))
+	s.Nulls *= scale
+	s.Distinct *= sqrtScale(scale) // distinct does not scale linearly
+	for i := range s.Buckets {
+		s.Buckets[i].Rows *= scale
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sqrtScale dampens distinct-count extrapolation; a crude but standard
+// first-order correction that still leaves realistic estimation error.
+func sqrtScale(s float64) float64 {
+	if s <= 1 {
+		return 1
+	}
+	return (s + 1) / 2
+}
+
+func build(column string, vals []value.Value, rate float64, now time.Time) *ColumnStats {
+	s := &ColumnStats{Column: column, SampleRate: rate, BuiltAt: now}
+	nonNull := make([]value.Value, 0, len(vals))
+	for _, v := range vals {
+		if v.IsNull() {
+			s.Nulls++
+			continue
+		}
+		nonNull = append(nonNull, v)
+	}
+	s.RowCount = float64(len(vals))
+	if len(nonNull) == 0 {
+		return s
+	}
+	sort.Slice(nonNull, func(i, j int) bool {
+		return value.Compare(nonNull[i], nonNull[j]) < 0
+	})
+	s.Min = nonNull[0]
+	s.Max = nonNull[len(nonNull)-1]
+
+	nb := DefaultBuckets
+	if len(nonNull) < nb {
+		nb = len(nonNull)
+	}
+	per := len(nonNull) / nb
+	if per < 1 {
+		per = 1
+	}
+	i := 0
+	for i < len(nonNull) {
+		end := i + per
+		if end > len(nonNull) {
+			end = len(nonNull)
+		}
+		// Extend the bucket to include all duplicates of its upper bound so
+		// bucket boundaries fall between distinct values.
+		for end < len(nonNull) && value.Compare(nonNull[end-1], nonNull[end]) == 0 {
+			end++
+		}
+		b := Bucket{Upper: nonNull[end-1], Rows: float64(end - i)}
+		d := 1.0
+		for j := i + 1; j < end; j++ {
+			if value.Compare(nonNull[j-1], nonNull[j]) != 0 {
+				d++
+			}
+		}
+		b.Distinct = d
+		s.Distinct += d
+		s.Buckets = append(s.Buckets, b)
+		i = end
+	}
+	return s
+}
+
+// NonNullRows returns the estimated number of non-null rows.
+func (s *ColumnStats) NonNullRows() float64 {
+	r := s.RowCount - s.Nulls
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SelectivityEq estimates the fraction of table rows with column = v.
+func (s *ColumnStats) SelectivityEq(v value.Value) float64 {
+	if s.RowCount == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0 // = NULL never matches
+	}
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	if value.Compare(v, s.Min) < 0 || value.Compare(v, s.Max) > 0 {
+		// Out of histogram range: assume a trickle (stale-stats behaviour).
+		return 0.5 / s.RowCount
+	}
+	for _, b := range s.Buckets {
+		if value.Compare(v, b.Upper) <= 0 {
+			rows := b.Rows / maxF(b.Distinct, 1)
+			return clamp01(rows / s.RowCount)
+		}
+	}
+	return 0.5 / s.RowCount
+}
+
+// SelectivityRange estimates the fraction of rows with lo < col < hi, with
+// inclusivity flags; nil bounds are open.
+func (s *ColumnStats) SelectivityRange(lo *value.Value, loIncl bool, hi *value.Value, hiIncl bool) float64 {
+	if s.RowCount == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rows := 0.0
+	prev := s.Min
+	first := true
+	for _, b := range s.Buckets {
+		bLo := prev
+		if first {
+			// First bucket spans [Min, Upper].
+			bLo = s.Min
+		}
+		rows += b.Rows * overlapFraction(bLo, b.Upper, first, lo, loIncl, hi, hiIncl)
+		prev = b.Upper
+		first = false
+	}
+	return clamp01(rows / s.RowCount)
+}
+
+// overlapFraction estimates what fraction of a bucket covering
+// (bLo, bUpper] (or [bLo, bUpper] for the first bucket) satisfies the
+// range predicate, with linear interpolation for numeric bounds.
+func overlapFraction(bLo, bUp value.Value, firstBucket bool, lo *value.Value, loIncl bool, hi *value.Value, hiIncl bool) float64 {
+	// Quick rejections.
+	if lo != nil {
+		c := value.Compare(bUp, *lo)
+		if c < 0 || (c == 0 && !loIncl) {
+			return 0
+		}
+	}
+	if hi != nil {
+		c := value.Compare(bLo, *hi)
+		if c > 0 || (c == 0 && !hiIncl && !firstBucket) {
+			return 0
+		}
+	}
+	loF, okLo := bLo.AsFloat()
+	upF, okUp := bUp.AsFloat()
+	if !okLo || !okUp || upF <= loF {
+		// Non-numeric or degenerate bucket: containment is all-or-half.
+		contained := true
+		if lo != nil && value.Compare(bLo, *lo) < 0 {
+			contained = false
+		}
+		if hi != nil && value.Compare(bUp, *hi) > 0 {
+			contained = false
+		}
+		if contained {
+			return 1
+		}
+		return 0.5
+	}
+	from, to := loF, upF
+	if lo != nil {
+		if f, ok := (*lo).AsFloat(); ok && f > from {
+			from = f
+		}
+	}
+	if hi != nil {
+		if f, ok := (*hi).AsFloat(); ok && f < to {
+			to = f
+		}
+	}
+	if to <= from {
+		// Point overlap at a boundary.
+		if to == from {
+			return 0.05
+		}
+		return 0
+	}
+	return clamp01((to - from) / (upF - loF))
+}
+
+func clamp01(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f > 1:
+		return 1
+	default:
+		return f
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders a short summary for debugging.
+func (s *ColumnStats) String() string {
+	return fmt.Sprintf("stats(%s rows=%.0f nulls=%.0f distinct=%.0f buckets=%d sample=%.2f)",
+		s.Column, s.RowCount, s.Nulls, s.Distinct, len(s.Buckets), s.SampleRate)
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"autoindex/internal/sim"
+	"autoindex/internal/value"
+)
+
+var t0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func intVals(n int, f func(i int) int64) []value.Value {
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = value.NewInt(f(i))
+	}
+	return out
+}
+
+func TestBuildUniform(t *testing.T) {
+	vals := intVals(1000, func(i int) int64 { return int64(i % 100) })
+	s := Build("c", vals, t0)
+	if s.RowCount != 1000 {
+		t.Fatalf("rows = %v", s.RowCount)
+	}
+	if math.Abs(s.Distinct-100) > 1 {
+		t.Fatalf("distinct = %v, want ~100", s.Distinct)
+	}
+	// Each value is 1% of rows.
+	sel := s.SelectivityEq(value.NewInt(50))
+	if math.Abs(sel-0.01) > 0.005 {
+		t.Fatalf("eq selectivity = %v, want ~0.01", sel)
+	}
+	// Range [20, 40) is ~20%.
+	lo, hi := value.NewInt(20), value.NewInt(40)
+	rs := s.SelectivityRange(&lo, true, &hi, false)
+	if math.Abs(rs-0.20) > 0.06 {
+		t.Fatalf("range selectivity = %v, want ~0.2", rs)
+	}
+}
+
+func TestBuildSkewed(t *testing.T) {
+	// 90% of rows are value 0.
+	vals := intVals(1000, func(i int) int64 {
+		if i < 900 {
+			return 0
+		}
+		return int64(i)
+	})
+	s := Build("c", vals, t0)
+	sel := s.SelectivityEq(value.NewInt(0))
+	// Equi-depth histogram puts the heavy hitter across buckets; the
+	// estimate should be large but is allowed to be off — this is the
+	// estimation error the validator exists for. It must at least exceed
+	// the uniform estimate by a lot.
+	if sel < 0.05 {
+		t.Fatalf("heavy-hitter selectivity = %v, too small", sel)
+	}
+}
+
+func TestNullsTracked(t *testing.T) {
+	vals := intVals(100, func(i int) int64 { return int64(i) })
+	for i := 0; i < 50; i++ {
+		vals = append(vals, value.NewNull())
+	}
+	s := Build("c", vals, t0)
+	if s.Nulls != 50 {
+		t.Fatalf("nulls = %v", s.Nulls)
+	}
+	if s.NonNullRows() != 100 {
+		t.Fatalf("non-null = %v", s.NonNullRows())
+	}
+	if s.SelectivityEq(value.NewNull()) != 0 {
+		t.Fatal("= NULL matches nothing")
+	}
+}
+
+func TestOutOfRangePredicates(t *testing.T) {
+	vals := intVals(1000, func(i int) int64 { return int64(i%100) + 100 })
+	s := Build("c", vals, t0)
+	if sel := s.SelectivityEq(value.NewInt(9999)); sel > 0.01 {
+		t.Fatalf("out-of-range eq = %v", sel)
+	}
+	lo := value.NewInt(500)
+	if sel := s.SelectivityRange(&lo, true, nil, false); sel > 0.02 {
+		t.Fatalf("out-of-range range = %v", sel)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	s := Build("c", nil, t0)
+	if s.SelectivityEq(value.NewInt(1)) != 0 {
+		t.Fatal("empty stats must estimate 0")
+	}
+	lo := value.NewInt(0)
+	if s.SelectivityRange(&lo, true, nil, false) != 0 {
+		t.Fatal("empty range")
+	}
+}
+
+func TestSampledStatsScaleUp(t *testing.T) {
+	rng := sim.NewRNG(5)
+	vals := intVals(10000, func(i int) int64 { return int64(i % 500) })
+	s := BuildSampled("c", vals, 0.1, rng, t0)
+	if s.SampleRate != 0.1 {
+		t.Fatalf("rate = %v", s.SampleRate)
+	}
+	if s.RowCount != 10000 {
+		t.Fatalf("scaled rows = %v", s.RowCount)
+	}
+	// The estimate should be in the right ballpark despite sampling.
+	sel := s.SelectivityEq(value.NewInt(250))
+	if sel <= 0 || sel > 0.02 {
+		t.Fatalf("sampled eq selectivity = %v, want ~0.002", sel)
+	}
+	var total float64
+	for _, b := range s.Buckets {
+		total += b.Rows
+	}
+	if math.Abs(total-10000) > 2500 {
+		t.Fatalf("bucket rows sum to %v, want ~10000", total)
+	}
+}
+
+func TestStringsSupported(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 300; i++ {
+		vals = append(vals, value.NewString([]string{"a", "b", "c"}[i%3]))
+	}
+	s := Build("c", vals, t0)
+	sel := s.SelectivityEq(value.NewString("b"))
+	if math.Abs(sel-1.0/3) > 0.15 {
+		t.Fatalf("string selectivity = %v", sel)
+	}
+}
+
+// Property: selectivities are always in [0, 1], and a full-range predicate
+// has selectivity near 1 for non-null data.
+func TestQuickSelectivityBounds(t *testing.T) {
+	f := func(raw []int16, probe int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]value.Value, len(raw))
+		for i, v := range raw {
+			vals[i] = value.NewInt(int64(v))
+		}
+		s := Build("c", vals, t0)
+		se := s.SelectivityEq(value.NewInt(int64(probe)))
+		if se < 0 || se > 1 {
+			return false
+		}
+		lo, hi := value.NewInt(-40000), value.NewInt(40000)
+		sr := s.SelectivityRange(&lo, true, &hi, true)
+		if sr < 0 || sr > 1 {
+			return false
+		}
+		// All data is within [-40000, 40000]; full range must catch most.
+		return sr > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

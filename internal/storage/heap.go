@@ -1,0 +1,117 @@
+// Package storage provides the row stores underneath tables: a heap (row
+// id addressed) used when a table has no clustered index, plus page
+// accounting helpers shared with B+ tree storage. The executor charges
+// logical reads in pages, so both stores expose page counts derived from
+// row widths and the engine's page size.
+package storage
+
+import (
+	"fmt"
+
+	"autoindex/internal/value"
+)
+
+// PageSize is the accounting page size in bytes (SQL Server uses 8KB).
+const PageSize = 8192
+
+// RowsPerPage returns how many rows of the given width fit a page (>= 1).
+func RowsPerPage(rowWidth int) int {
+	if rowWidth <= 0 {
+		rowWidth = 8
+	}
+	n := PageSize / rowWidth
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PagesFor returns the number of pages needed for rows of the given width.
+func PagesFor(rowCount int64, rowWidth int) int64 {
+	per := int64(RowsPerPage(rowWidth))
+	pages := (rowCount + per - 1) / per
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// RID identifies a row in a heap.
+type RID int64
+
+// Heap stores rows addressed by RID. Deleted slots are tombstoned and
+// reused, approximating a real heap's page-slot behaviour.
+type Heap struct {
+	rows     []value.Row
+	free     []RID
+	live     int64
+	rowWidth int
+}
+
+// NewHeap returns an empty heap for rows of the given average width.
+func NewHeap(rowWidth int) *Heap {
+	return &Heap{rowWidth: rowWidth}
+}
+
+// Insert stores row and returns its RID.
+func (h *Heap) Insert(row value.Row) RID {
+	h.live++
+	if n := len(h.free); n > 0 {
+		rid := h.free[n-1]
+		h.free = h.free[:n-1]
+		h.rows[rid] = row
+		return rid
+	}
+	h.rows = append(h.rows, row)
+	return RID(len(h.rows) - 1)
+}
+
+// Get returns the row at rid.
+func (h *Heap) Get(rid RID) (value.Row, bool) {
+	if rid < 0 || int(rid) >= len(h.rows) || h.rows[rid] == nil {
+		return nil, false
+	}
+	return h.rows[rid], true
+}
+
+// Update replaces the row at rid.
+func (h *Heap) Update(rid RID, row value.Row) error {
+	if _, ok := h.Get(rid); !ok {
+		return fmt.Errorf("storage: update of missing rid %d", rid)
+	}
+	h.rows[rid] = row
+	return nil
+}
+
+// Delete tombstones the row at rid.
+func (h *Heap) Delete(rid RID) error {
+	if _, ok := h.Get(rid); !ok {
+		return fmt.Errorf("storage: delete of missing rid %d", rid)
+	}
+	h.rows[rid] = nil
+	h.free = append(h.free, rid)
+	h.live--
+	return nil
+}
+
+// Len returns the number of live rows.
+func (h *Heap) Len() int64 { return h.live }
+
+// Pages returns the heap's page count, counting tombstoned slots too (a
+// heap does not shrink until rebuilt).
+func (h *Heap) Pages() int64 {
+	return PagesFor(int64(len(h.rows)), h.rowWidth)
+}
+
+// Scan calls fn for every live row in physical order, stopping early when
+// fn returns false.
+func (h *Heap) Scan(fn func(RID, value.Row) bool) {
+	for i, r := range h.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RID(i), r) {
+			return
+		}
+	}
+}

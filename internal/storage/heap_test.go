@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autoindex/internal/value"
+)
+
+func row(i int64) value.Row { return value.Row{value.NewInt(i)} }
+
+func TestHeapCRUD(t *testing.T) {
+	h := NewHeap(8)
+	var rids []RID
+	for i := int64(0); i < 100; i++ {
+		rids = append(rids, h.Insert(row(i)))
+	}
+	if h.Len() != 100 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	for i, rid := range rids {
+		r, ok := h.Get(rid)
+		if !ok || r[0].I != int64(i) {
+			t.Fatalf("get %d: %v %v", rid, r, ok)
+		}
+	}
+	if err := h.Update(rids[7], row(700)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := h.Get(rids[7])
+	if r[0].I != 700 {
+		t.Fatal("update lost")
+	}
+	if err := h.Delete(rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Get(rids[3]); ok {
+		t.Fatal("deleted row visible")
+	}
+	if err := h.Delete(rids[3]); err == nil {
+		t.Fatal("double delete must error")
+	}
+	if err := h.Update(rids[3], row(1)); err == nil {
+		t.Fatal("update of deleted row must error")
+	}
+	if h.Len() != 100-1 {
+		t.Fatalf("len after delete = %d", h.Len())
+	}
+}
+
+func TestHeapSlotReuse(t *testing.T) {
+	h := NewHeap(8)
+	a := h.Insert(row(1))
+	h.Insert(row(2))
+	if err := h.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	c := h.Insert(row(3))
+	if c != a {
+		t.Fatalf("freed slot not reused: got %d, want %d", c, a)
+	}
+}
+
+func TestHeapScanSkipsTombstones(t *testing.T) {
+	h := NewHeap(8)
+	var rids []RID
+	for i := int64(0); i < 10; i++ {
+		rids = append(rids, h.Insert(row(i)))
+	}
+	h.Delete(rids[4])
+	seen := 0
+	h.Scan(func(rid RID, r value.Row) bool {
+		if rid == rids[4] {
+			t.Fatal("tombstone scanned")
+		}
+		seen++
+		return true
+	})
+	if seen != 9 {
+		t.Fatalf("scanned %d rows", seen)
+	}
+	// Early termination.
+	seen = 0
+	h.Scan(func(RID, value.Row) bool { seen++; return seen < 3 })
+	if seen != 3 {
+		t.Fatalf("early stop scanned %d", seen)
+	}
+}
+
+func TestPageAccounting(t *testing.T) {
+	if RowsPerPage(0) < 1 || RowsPerPage(100000) != 1 {
+		t.Fatal("RowsPerPage bounds")
+	}
+	if PagesFor(0, 100) != 1 {
+		t.Fatal("empty table still occupies a page")
+	}
+	if PagesFor(1000, 8192) != 1000 {
+		t.Fatal("one row per page")
+	}
+	// 8192/80 = 102 rows/page → 1000 rows = 10 pages.
+	if got := PagesFor(1000, 80); got != 10 {
+		t.Fatalf("PagesFor = %d", got)
+	}
+	h := NewHeap(80)
+	for i := int64(0); i < 1000; i++ {
+		h.Insert(row(i))
+	}
+	if h.Pages() != 10 {
+		t.Fatalf("heap pages = %d", h.Pages())
+	}
+}
+
+// Property: a heap behaves like a map keyed by RID.
+func TestQuickHeapMatchesMap(t *testing.T) {
+	f := func(vals []int64) bool {
+		h := NewHeap(8)
+		ref := make(map[RID]int64)
+		for i, v := range vals {
+			switch {
+			case i%5 == 4 && len(ref) > 0:
+				for rid := range ref {
+					h.Delete(rid)
+					delete(ref, rid)
+					break
+				}
+			default:
+				rid := h.Insert(row(v))
+				ref[rid] = v
+			}
+		}
+		if h.Len() != int64(len(ref)) {
+			return false
+		}
+		for rid, v := range ref {
+			r, ok := h.Get(rid)
+			if !ok || r[0].I != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

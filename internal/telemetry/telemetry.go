@@ -1,0 +1,83 @@
+// Package telemetry provides the anonymized, aggregated signals the
+// service is debugged through (§1.2, §3): engineers never see query text
+// or data, only counters and coarse events. Components emit into a Hub;
+// dashboards (the fleetsim binary) read aggregated views.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one coarse, anonymized service event.
+type Event struct {
+	At       time.Time
+	Database string // database name is a pseudonymous identifier
+	Kind     string
+	Detail   string // must not contain customer data
+}
+
+// Hub collects counters and events.
+type Hub struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	events   []Event
+	maxEv    int
+}
+
+// NewHub returns an empty hub retaining up to maxEvents events.
+func NewHub(maxEvents int) *Hub {
+	if maxEvents <= 0 {
+		maxEvents = 4096
+	}
+	return &Hub{counters: make(map[string]int64), maxEv: maxEvents}
+}
+
+// Inc adds delta to a named counter.
+func (h *Hub) Inc(name string, delta int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counters[name] += delta
+}
+
+// Counter reads a counter.
+func (h *Hub) Counter(name string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counters[name]
+}
+
+// Counters returns a sorted snapshot of all counters.
+func (h *Hub) Counters() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.counters))
+	for n := range h.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s=%d", n, h.counters[n])
+	}
+	return out
+}
+
+// Emit records an event (dropping the oldest past capacity).
+func (h *Hub) Emit(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = append(h.events, e)
+	if len(h.events) > h.maxEv {
+		h.events = h.events[len(h.events)-h.maxEv:]
+	}
+}
+
+// Events returns a copy of retained events.
+func (h *Hub) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}

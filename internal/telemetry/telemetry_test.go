@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	h := NewHub(0)
+	h.Inc("a", 1)
+	h.Inc("a", 2)
+	h.Inc("b", 5)
+	if h.Counter("a") != 3 || h.Counter("b") != 5 || h.Counter("missing") != 0 {
+		t.Fatalf("counters: a=%d b=%d", h.Counter("a"), h.Counter("b"))
+	}
+	all := h.Counters()
+	if len(all) != 2 || all[0] != "a=3" || all[1] != "b=5" {
+		t.Fatalf("snapshot: %v", all)
+	}
+}
+
+func TestEventsCapped(t *testing.T) {
+	h := NewHub(10)
+	for i := 0; i < 25; i++ {
+		h.Emit(Event{At: time.Unix(int64(i), 0), Kind: "k"})
+	}
+	evs := h.Events()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if evs[0].At.Unix() != 15 {
+		t.Fatalf("oldest retained: %v", evs[0].At)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	h := NewHub(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Inc("x", 1)
+				h.Emit(Event{Kind: "e"})
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Counter("x") != 8000 {
+		t.Fatalf("lost increments: %d", h.Counter("x"))
+	}
+}

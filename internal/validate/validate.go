@@ -1,0 +1,290 @@
+// Package validate implements the paper's validator (§6): after an index
+// change is implemented, it compares execution statistics before and after
+// the change using Query Store, restricted to logical metrics (CPU time,
+// logical reads) and to queries that executed in both windows *and* whose
+// plan changed because of the index. Statistical significance comes from
+// Welch's t-test over the per-plan mean/variance/count aggregates Query
+// Store maintains. Two revert policies are provided: the conservative
+// per-statement trigger (any significant regression of a statement that
+// consumes a meaningful share of the database's resources reverts the
+// change) and the aggregate policy (revert only if the workload regresses
+// net of improvements).
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"autoindex/internal/mathx"
+	"autoindex/internal/querystore"
+)
+
+// Policy selects the revert trigger.
+type Policy int
+
+// Revert policies (§6).
+const (
+	// PolicyPerStatement reverts on any significant per-statement
+	// regression above the resource-share floor (the conservative
+	// default).
+	PolicyPerStatement Policy = iota
+	// PolicyAggregate reverts only when the workload regresses in
+	// aggregate, allowing individual statements to regress if others
+	// improve more.
+	PolicyAggregate
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyAggregate {
+		return "aggregate"
+	}
+	return "per-statement"
+}
+
+// Config tunes validation.
+type Config struct {
+	// Alpha is the significance level for the Welch t-test.
+	Alpha float64
+	// RegressionRatio is the minimum worsening (after/before mean ratio)
+	// to call a regression; improvements use its reciprocal.
+	RegressionRatio float64
+	// MinExecutions per window for a query to be judged.
+	MinExecutions int64
+	// MinResourceShare is the fraction of the database's total CPU a
+	// regressed statement must consume to trigger a per-statement revert.
+	MinResourceShare float64
+	Policy           Policy
+}
+
+// DefaultConfig returns production-like settings.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:            0.05,
+		RegressionRatio:  1.4,
+		MinExecutions:    3,
+		MinResourceShare: 0.002,
+		Policy:           PolicyPerStatement,
+	}
+}
+
+// Verdict classifies one query or the whole change.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictInconclusive Verdict = iota
+	VerdictImproved
+	VerdictRegressed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictImproved:
+		return "improved"
+	case VerdictRegressed:
+		return "regressed"
+	default:
+		return "inconclusive"
+	}
+}
+
+// QueryVerdict is the per-query comparison result.
+type QueryVerdict struct {
+	QueryHash     uint64
+	Metric        querystore.Metric
+	Before, After mathx.Sample
+	P             float64
+	Verdict       Verdict
+	// ResourceShare is the query's share of total CPU in the combined
+	// window.
+	ResourceShare float64
+}
+
+// Outcome is the full validation result.
+type Outcome struct {
+	Index    string
+	Created  bool // true: index was created; false: dropped
+	Verdict  Verdict
+	Revert   bool
+	Queries  []QueryVerdict
+	Policy   Policy
+	Analyzed int
+	// CPUDeltaWeighted is the execution-weighted net CPU change
+	// (negative = improvement).
+	CPUDeltaWeighted float64
+}
+
+// Describe renders a summary for the action history UI.
+func (o Outcome) Describe() string {
+	return fmt.Sprintf("validate %s (created=%v): %s, revert=%v, %d queries analyzed",
+		o.Index, o.Created, o.Verdict, o.Revert, o.Analyzed)
+}
+
+// Validate compares the windows around an index change.
+//
+// qs is the database's Query Store; index the changed index name; created
+// whether it was created (vs dropped); changeAt the implementation time;
+// window the comparison horizon on each side.
+func Validate(qs *querystore.Store, index string, created bool, changeAt time.Time, window time.Duration, cfg Config) Outcome {
+	if cfg.Alpha == 0 {
+		cfg = DefaultConfig()
+	}
+	out := Outcome{Index: index, Created: created, Policy: cfg.Policy}
+	// Snap windows to Query Store interval boundaries and discard the
+	// interval containing the change itself: it mixes pre- and post-change
+	// executions and would contaminate both sides.
+	iv := qs.Interval()
+	cut := changeAt.Truncate(iv)
+	beforeFrom, beforeTo := cut.Add(-window), cut
+	afterFrom, afterTo := cut.Add(iv), cut.Add(iv).Add(window)
+
+	// Queries whose plan references the index on the relevant side: the
+	// new plan must use a created index; the old plan must have used a
+	// dropped one (§6's plan-change filter).
+	var hashes []uint64
+	if created {
+		hashes = qs.QueriesUsingIndex(index, afterFrom, afterTo)
+	} else {
+		hashes = qs.QueriesUsingIndex(index, beforeFrom, beforeTo)
+	}
+
+	totalCPU := 0.0
+	for _, qc := range qs.Costs(beforeFrom) {
+		totalCPU += qc.TotalCPU
+	}
+
+	improvedW, regressedW := 0.0, 0.0
+	for _, h := range hashes {
+		// Plan change check: a plan present on one side only.
+		if !planChanged(qs, h, index, created, beforeFrom, beforeTo, afterFrom, afterTo) {
+			continue
+		}
+		for _, metric := range []querystore.Metric{querystore.MetricCPU, querystore.MetricLogicalReads} {
+			qv, ok := judge(qs, h, metric, beforeFrom, beforeTo, afterFrom, afterTo, cfg)
+			if !ok {
+				continue
+			}
+			if totalCPU > 0 {
+				if s, ok := qs.QueryWindowSample(h, querystore.MetricCPU, beforeFrom, afterTo); ok {
+					qv.ResourceShare = s.Mean * float64(s.N) / totalCPU
+				}
+			}
+			out.Queries = append(out.Queries, qv)
+			if metric == querystore.MetricCPU {
+				out.Analyzed++
+				delta := (qv.After.Mean - qv.Before.Mean) * float64(qv.After.N)
+				out.CPUDeltaWeighted += delta
+				switch qv.Verdict {
+				case VerdictImproved:
+					improvedW += -delta
+				case VerdictRegressed:
+					regressedW += delta
+				}
+			}
+		}
+	}
+	sort.Slice(out.Queries, func(i, j int) bool {
+		if out.Queries[i].QueryHash != out.Queries[j].QueryHash {
+			return out.Queries[i].QueryHash < out.Queries[j].QueryHash
+		}
+		return out.Queries[i].Metric < out.Queries[j].Metric
+	})
+
+	// Decide the overall verdict and revert.
+	switch cfg.Policy {
+	case PolicyPerStatement:
+		for _, qv := range out.Queries {
+			if qv.Verdict == VerdictRegressed && qv.ResourceShare >= cfg.MinResourceShare {
+				out.Verdict = VerdictRegressed
+				out.Revert = true
+				break
+			}
+		}
+		if !out.Revert {
+			for _, qv := range out.Queries {
+				if qv.Verdict == VerdictImproved {
+					out.Verdict = VerdictImproved
+					break
+				}
+			}
+		}
+	case PolicyAggregate:
+		switch {
+		case regressedW > improvedW && regressedW > 0:
+			out.Verdict = VerdictRegressed
+			out.Revert = true
+		case improvedW > 0:
+			out.Verdict = VerdictImproved
+		}
+	}
+	return out
+}
+
+// planChanged verifies the §6 condition: for a created index some plan in
+// the after-window references it while the before-window ran without it;
+// for a drop, the before-plan referenced it and the after-plan does not.
+func planChanged(qs *querystore.Store, queryHash uint64, index string, created bool,
+	bFrom, bTo, aFrom, aTo time.Time,
+) bool {
+	before := qs.PlansInWindow(queryHash, bFrom, bTo)
+	after := qs.PlansInWindow(queryHash, aFrom, aTo)
+	if len(before) == 0 || len(after) == 0 {
+		return false // must have executed on both sides
+	}
+	usedBefore, usedAfter := false, false
+	for _, p := range before {
+		if p.Info.UsesIndex(index) {
+			usedBefore = true
+		}
+	}
+	for _, p := range after {
+		if p.Info.UsesIndex(index) {
+			usedAfter = true
+		}
+	}
+	if created {
+		return usedAfter && !usedBefore
+	}
+	return usedBefore && !usedAfter
+}
+
+// judge runs the Welch t-test for one query and metric.
+func judge(qs *querystore.Store, queryHash uint64, metric querystore.Metric,
+	bFrom, bTo, aFrom, aTo time.Time, cfg Config,
+) (QueryVerdict, bool) {
+	before, okB := qs.QueryWindowSample(queryHash, metric, bFrom, bTo)
+	after, okA := qs.QueryWindowSample(queryHash, metric, aFrom, aTo)
+	if !okB || !okA || before.N < cfg.MinExecutions || after.N < cfg.MinExecutions {
+		return QueryVerdict{}, false
+	}
+	qv := QueryVerdict{QueryHash: queryHash, Metric: metric, Before: before, After: after, Verdict: VerdictInconclusive}
+	res, ok := mathx.Welch(after, before)
+	if !ok {
+		return qv, true
+	}
+	qv.P = res.P
+	if res.P < cfg.Alpha {
+		ratio := safeRatio(after.Mean, before.Mean)
+		switch {
+		case after.Mean > before.Mean && ratio >= cfg.RegressionRatio:
+			qv.Verdict = VerdictRegressed
+		case after.Mean < before.Mean && safeRatio(before.Mean, after.Mean) >= cfg.RegressionRatio:
+			qv.Verdict = VerdictImproved
+		}
+	}
+	return qv, true
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		if a <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,201 @@
+package validate
+
+import (
+	"testing"
+	"time"
+
+	"autoindex/internal/querystore"
+	"autoindex/internal/sim"
+)
+
+const (
+	ixName = "ix_test"
+	window = 6 * time.Hour
+)
+
+// harness builds a Query Store with scripted before/after executions.
+type harness struct {
+	clock    *sim.VirtualClock
+	qs       *querystore.Store
+	changeAt time.Time
+}
+
+func newHarness() *harness {
+	clock := sim.NewClock()
+	return &harness{clock: clock, qs: querystore.New(clock, time.Hour)}
+}
+
+// spec scripts one query's behaviour during a phase.
+type spec struct {
+	qh        uint64
+	plan      uint64
+	usesIndex bool
+	cpu       float64
+	isWrite   bool
+}
+
+// runPhase interleaves n executions of every spec across (most of) one
+// validation window, so all specs land inside the same before/after side.
+func (h *harness) runPhase(specs []spec, n int) {
+	step := window * 8 / (10 * time.Duration(n+1))
+	for i := 0; i < n; i++ {
+		for _, s := range specs {
+			info := querystore.PlanInfo{PlanHash: s.plan}
+			if s.usesIndex {
+				info.IndexesUsed = []string{ixName}
+			}
+			jitter := float64(i%5) * 0.02 * s.cpu
+			h.qs.Record(s.qh, "stmt", false, s.isWrite, info, querystore.Measurement{
+				CPUMillis:      s.cpu + jitter,
+				LogicalReads:   s.cpu * 2,
+				DurationMillis: s.cpu * 3,
+			})
+		}
+		h.clock.Advance(step)
+	}
+}
+
+// phase records executions of a single (query, plan).
+func (h *harness) phase(qh, plan uint64, usesIndex bool, cpu float64, n int, isWrite bool) {
+	h.runPhase([]spec{{qh: qh, plan: plan, usesIndex: usesIndex, cpu: cpu, isWrite: isWrite}}, n)
+}
+
+func (h *harness) mark() { h.changeAt = h.clock.Now() }
+
+func (h *harness) validate(created bool, cfg Config) Outcome {
+	return Validate(h.qs, ixName, created, h.changeAt, window, cfg)
+}
+
+func TestImprovementDetected(t *testing.T) {
+	h := newHarness()
+	h.phase(1, 100, false, 20, 12, false) // before: plan without index
+	h.mark()
+	h.phase(1, 200, true, 5, 12, false) // after: new plan uses index, 4x cheaper
+	out := h.validate(true, DefaultConfig())
+	if out.Verdict != VerdictImproved || out.Revert {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Analyzed != 1 {
+		t.Fatalf("analyzed = %d", out.Analyzed)
+	}
+}
+
+func TestRegressionTriggersRevert(t *testing.T) {
+	h := newHarness()
+	h.phase(1, 100, false, 5, 12, false)
+	h.mark()
+	h.phase(1, 200, true, 20, 12, false) // 4x worse after the index
+	out := h.validate(true, DefaultConfig())
+	if out.Verdict != VerdictRegressed || !out.Revert {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestNoPlanChangeNoJudgement(t *testing.T) {
+	h := newHarness()
+	// The plan never references the index: the §6 filter excludes it even
+	// though costs doubled (e.g., unrelated concurrent load).
+	h.phase(1, 100, false, 5, 12, false)
+	h.mark()
+	h.phase(1, 100, false, 10, 12, false)
+	out := h.validate(true, DefaultConfig())
+	if out.Revert || out.Analyzed != 0 {
+		t.Fatalf("plan-change filter failed: %+v", out)
+	}
+}
+
+func TestDroppedIndexDirection(t *testing.T) {
+	h := newHarness()
+	// Before: plan used the (now dropped) index and was cheap.
+	h.phase(1, 100, true, 5, 12, false)
+	h.mark()
+	// After: new plan without the index is much slower.
+	h.phase(1, 200, false, 25, 12, false)
+	out := h.validate(false, DefaultConfig())
+	if out.Verdict != VerdictRegressed || !out.Revert {
+		t.Fatalf("drop regression missed: %+v", out)
+	}
+}
+
+func TestInsufficientExecutionsInconclusive(t *testing.T) {
+	h := newHarness()
+	h.phase(1, 100, false, 5, 2, false) // below MinExecutions
+	h.mark()
+	h.phase(1, 200, true, 50, 2, false)
+	out := h.validate(true, DefaultConfig())
+	if out.Revert {
+		t.Fatalf("2 executions must be inconclusive: %+v", out)
+	}
+}
+
+func TestSmallRegressionBelowRatioTolerated(t *testing.T) {
+	h := newHarness()
+	h.phase(1, 100, false, 10, 15, false)
+	h.mark()
+	h.phase(1, 200, true, 11, 15, false) // 10% worse < RegressionRatio 1.25
+	out := h.validate(true, DefaultConfig())
+	if out.Revert {
+		t.Fatalf("small regression must be tolerated: %+v", out)
+	}
+}
+
+func TestResourceShareFloor(t *testing.T) {
+	h := newHarness()
+	// A huge unrelated consumer dwarfs the regressed query.
+	h.runPhase([]spec{
+		{qh: 99, plan: 900, cpu: 10000},
+		{qh: 1, plan: 100, cpu: 1},
+	}, 12)
+	h.mark()
+	h.runPhase([]spec{
+		{qh: 99, plan: 900, cpu: 10000},
+		{qh: 1, plan: 200, usesIndex: true, cpu: 4}, // 4x regression, trivial share
+	}, 12)
+	cfg := DefaultConfig()
+	cfg.MinResourceShare = 0.05
+	out := h.validate(true, cfg)
+	if out.Revert {
+		t.Fatalf("insignificant statement must not trigger revert: %+v", out)
+	}
+}
+
+func TestAggregatePolicyNetsOut(t *testing.T) {
+	// Query 1 regresses 2x but query 2 improves 10x with more weight: the
+	// aggregate policy keeps the index, the per-statement policy reverts.
+	build := func() *harness {
+		h := newHarness()
+		h.runPhase([]spec{
+			{qh: 1, plan: 100, cpu: 10},
+			{qh: 2, plan: 300, cpu: 100},
+		}, 12)
+		h.mark()
+		h.runPhase([]spec{
+			{qh: 1, plan: 200, usesIndex: true, cpu: 20},
+			{qh: 2, plan: 400, usesIndex: true, cpu: 10},
+		}, 12)
+		return h
+	}
+	agg := DefaultConfig()
+	agg.Policy = PolicyAggregate
+	out := build().validate(true, agg)
+	if out.Revert {
+		t.Fatalf("aggregate policy should keep the index: %+v", out)
+	}
+	per := DefaultConfig()
+	per.Policy = PolicyPerStatement
+	out = build().validate(true, per)
+	if !out.Revert {
+		t.Fatalf("per-statement policy should revert: %+v", out)
+	}
+}
+
+func TestOutcomeDescribe(t *testing.T) {
+	h := newHarness()
+	h.phase(1, 100, false, 20, 12, false)
+	h.mark()
+	h.phase(1, 200, true, 5, 12, false)
+	out := h.validate(true, DefaultConfig())
+	if out.Describe() == "" {
+		t.Fatal("describe")
+	}
+}

@@ -1,0 +1,75 @@
+package value
+
+import "strings"
+
+// Row is an ordered tuple of values.
+type Row []Value
+
+// Clone returns a copy of r.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a parenthesised literal list.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key is a composite comparison key (e.g., the key columns of an index
+// entry). It compares lexicographically.
+type Key []Value
+
+// CompareKeys orders two composite keys lexicographically; a shorter key
+// that is a prefix of a longer one sorts first.
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// HashKey combines the hashes of all values in the key.
+func HashKey(k Key) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, v := range k {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// KeyEqual reports whether two keys are component-wise equal (NULL equals
+// NULL here, since this is used for grouping, not predicate evaluation).
+func KeyEqual(a, b Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].K == Null && b[i].K == Null {
+			continue
+		}
+		if Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewNull(), NewInt(0), -1},
+		{NewInt(0), NewNull(), 1},
+		{NewNull(), NewNull(), 0},
+		// Cross-kind numeric comparison.
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewInt(3), NewFloat(2.5), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(NewNull(), NewNull()) {
+		t.Fatal("NULL = NULL must be false in predicate semantics")
+	}
+	if Equal(NewNull(), NewInt(1)) || Equal(NewInt(1), NewNull()) {
+		t.Fatal("NULL never equals a value")
+	}
+	if !Equal(NewInt(5), NewInt(5)) {
+		t.Fatal("5 = 5")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":    NewNull(),
+		"42":      NewInt(42),
+		"'it''s'": NewString("it's"),
+		"1":       NewBool(true),
+		"0":       NewBool(false),
+		"2.5":     NewFloat(2.5),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTimeRoundTrip(t *testing.T) {
+	now := time.Date(2017, 3, 15, 10, 30, 0, 0, time.UTC)
+	v := NewTime(now)
+	if !v.Time().Equal(now) {
+		t.Fatalf("time round trip: %v != %v", v.Time(), now)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(7).AsFloat(); !ok || f != 7 {
+		t.Fatal("int AsFloat")
+	}
+	if f, ok := NewFloat(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Fatal("float AsFloat")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Fatal("string AsFloat should fail")
+	}
+	if _, ok := NewNull().AsFloat(); ok {
+		t.Fatal("null AsFloat should fail")
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	// Int and integral Float must hash identically (mixed-type joins).
+	if NewInt(42).Hash() != NewFloat(42).Hash() {
+		t.Fatal("Int(42) and Float(42) must hash equal")
+	}
+	if NewInt(42).Hash() == NewInt(43).Hash() {
+		t.Fatal("adjacent ints should not collide (fnv)")
+	}
+	f := func(a int64) bool {
+		return NewInt(a).Hash() == NewInt(a).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"BIGINT": Int, "int": Int, "FLOAT": Float, "decimal": Float,
+		"VARCHAR": String, "nvarchar": String, "BIT": Bool, "DATETIME": Time,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Fatal("ParseKind should reject unknown types")
+	}
+}
+
+// Property: Compare is a total order (antisymmetric, transitive on a
+// sample, reflexive).
+func TestQuickCompareTotalOrder(t *testing.T) {
+	gen := func(x int64, f float64, s string, pick uint8) Value {
+		switch pick % 4 {
+		case 0:
+			return NewInt(x)
+		case 1:
+			return NewFloat(f)
+		case 2:
+			return NewString(s)
+		default:
+			return NewNull()
+		}
+	}
+	f := func(x1, x2 int64, f1, f2 float64, s1, s2 string, p1, p2 uint8) bool {
+		a := gen(x1, f1, s1, p1)
+		b := gen(x2, f2, s2, p2)
+		ab := Compare(a, b)
+		ba := Compare(b, a)
+		if ab != -ba {
+			return false
+		}
+		return Compare(a, a) == 0 && Compare(b, b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyCompareLexicographic(t *testing.T) {
+	a := Key{NewInt(1), NewInt(2)}
+	b := Key{NewInt(1), NewInt(3)}
+	c := Key{NewInt(1)}
+	if CompareKeys(a, b) >= 0 {
+		t.Fatal("(1,2) < (1,3)")
+	}
+	if CompareKeys(c, a) >= 0 {
+		t.Fatal("prefix sorts first")
+	}
+	if CompareKeys(a, a) != 0 {
+		t.Fatal("reflexive")
+	}
+}
+
+func TestKeyEqualAndHash(t *testing.T) {
+	a := Key{NewInt(1), NewString("x")}
+	b := Key{NewInt(1), NewString("x")}
+	if !KeyEqual(a, b) {
+		t.Fatal("equal keys")
+	}
+	if HashKey(a) != HashKey(b) {
+		t.Fatal("equal keys must hash equal")
+	}
+	// Grouping semantics: NULLs group together.
+	n1 := Key{NewNull()}
+	n2 := Key{NewNull()}
+	if !KeyEqual(n1, n2) {
+		t.Fatal("NULL keys group together")
+	}
+}

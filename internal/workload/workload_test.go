@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/sqlparser"
+)
+
+func newTenant(t *testing.T, p Profile) *Tenant {
+	t.Helper()
+	if p.Name == "" {
+		p.Name = "wl"
+	}
+	tn, err := NewTenant(p, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestTenantGenerationDeterministic(t *testing.T) {
+	a := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 42})
+	b := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 42})
+	at, bt := a.DB.TableNames(), b.DB.TableNames()
+	if len(at) != len(bt) {
+		t.Fatalf("table counts differ: %v vs %v", at, bt)
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatalf("tables differ: %v vs %v", at, bt)
+		}
+		if a.DB.RowCount(at[i]) != b.DB.RowCount(bt[i]) {
+			t.Fatalf("row counts differ for %s", at[i])
+		}
+	}
+	if len(a.Templates) != len(b.Templates) {
+		t.Fatal("template counts differ")
+	}
+	// Different seeds diverge.
+	c := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 43})
+	same := len(c.DB.TableNames()) == len(at)
+	if same {
+		for i, n := range c.DB.TableNames() {
+			if n != at[i] || c.DB.RowCount(n) != a.DB.RowCount(at[i]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Log("seeds 42/43 produced identical fleets (suspicious but not fatal)")
+	}
+}
+
+func TestAllTemplatesParseAndExecute(t *testing.T) {
+	tn := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 7, UserIndexes: true})
+	for _, tpl := range tn.Templates {
+		for i := 0; i < 3; i++ {
+			sql := tpl.Gen()
+			stmt, err := sqlparser.Parse(sql)
+			if err != nil {
+				t.Fatalf("template %s generated unparseable SQL %q: %v", tpl.Name, sql, err)
+			}
+			if sqlparser.IsWrite(stmt) != tpl.IsWrite {
+				t.Fatalf("template %s IsWrite mismatch for %q", tpl.Name, sql)
+			}
+			if _, err := tn.DB.Exec(sql); err != nil {
+				t.Fatalf("template %s execution failed %q: %v", tpl.Name, sql, err)
+			}
+		}
+	}
+}
+
+func TestWriteFractionRespected(t *testing.T) {
+	tn := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 11, WriteFraction: 0.4})
+	var writes, reads float64
+	for _, tpl := range tn.Templates {
+		if tpl.IsWrite {
+			writes += tpl.Weight
+		} else {
+			reads += tpl.Weight
+		}
+	}
+	frac := writes / (writes + reads)
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("write weight fraction = %v, want ~0.4", frac)
+	}
+}
+
+func TestUserIndexesCreated(t *testing.T) {
+	tn := newTenant(t, Profile{Tier: engine.TierPremium, Seed: 5, UserIndexes: true})
+	n := 0
+	for _, def := range tn.DB.IndexDefs() {
+		if strings.HasPrefix(def.Name, "ix_user_") {
+			n++
+			if def.AutoCreated {
+				t.Fatal("user index marked auto-created")
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no user indexes created")
+	}
+}
+
+func TestRunAdvancesClockAndRecords(t *testing.T) {
+	tn := newTenant(t, Profile{Tier: engine.TierBasic, Seed: 13})
+	start := tn.DB.Clock().Now()
+	stats := tn.Run(6*time.Hour, 100)
+	if stats.Statements != 100 {
+		t.Fatalf("statements = %d", stats.Statements)
+	}
+	if stats.Errors > 2 {
+		t.Fatalf("too many errors: %d", stats.Errors)
+	}
+	elapsed := tn.DB.Clock().Now().Sub(start)
+	if elapsed < 5*time.Hour || elapsed > 7*time.Hour {
+		t.Fatalf("elapsed %v, want ~6h", elapsed)
+	}
+	if tn.DB.QueryStore().Len() == 0 {
+		t.Fatal("query store empty after run")
+	}
+}
+
+func TestStreamReplayOnClone(t *testing.T) {
+	tn := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 17})
+	clone := tn.DB.Clone("clone")
+	// The primary's query store holds only the seeding bulk-loads so far.
+	primQS := tn.DB.QueryStore().Len()
+	stmts := tn.Stream(50)
+	if len(stmts) != 50 {
+		t.Fatalf("stream: %d", len(stmts))
+	}
+	stats := tn.Replay(clone, stmts, time.Hour)
+	if stats.Statements != 50 {
+		t.Fatalf("replayed %d", stats.Statements)
+	}
+	if stats.Errors > 5 {
+		t.Fatalf("replay errors: %d", stats.Errors)
+	}
+	// The primary's query store is untouched by the clone replay.
+	if tn.DB.QueryStore().Len() != primQS {
+		t.Fatal("replay on clone must not touch primary query store")
+	}
+}
+
+func TestCorrelatedColumnsExist(t *testing.T) {
+	// Across a few seeds, at least one tenant must have a correlated
+	// column (the optimizer-error generator).
+	found := false
+	for seed := int64(1); seed <= 8 && !found; seed++ {
+		tn := newTenant(t, Profile{Tier: engine.TierStandard, Seed: seed})
+		for _, ts := range tn.Tables {
+			for _, c := range ts.Columns {
+				if c.CorrelatedWith != "" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no correlated columns generated across seeds 1-8")
+	}
+}
