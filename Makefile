@@ -1,0 +1,32 @@
+# Standard targets for the autoindex reproduction. Everything is plain
+# `go` underneath; the Makefile just fixes the flag sets so CI and
+# humans run the same thing.
+
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector: the
+# sharded fleet harness, the telemetry hub, and the control plane's
+# micro-service loops vs. concurrent injectors. Part of tier-1 verify.
+race:
+	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane
+
+vet:
+	$(GO) vet ./...
+
+# Paper tables/figures as benchmarks; BenchmarkFleetParallel also
+# rewrites BENCH_fleet.json with per-worker-count timings.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,13 @@
 //	fleetsim -experiment opstats -databases 12 -days 10     // §8.1 operational stats
 //	fleetsim -experiment reverts -databases 12 -days 10     // §8.1 revert analysis
 //
+// Tenants are sharded across a worker pool (-workers, default one per
+// CPU); results are bit-identical at any worker count for the same seed,
+// so scale the pool freely. Per-phase wall-clock timing goes to stderr —
+// stdout carries only the deterministic experiment output, and can be
+// diffed across runs. -cpuprofile writes a pprof profile for hot-path
+// work.
+//
 // Absolute numbers differ from the paper (the substrate is a simulator,
 // not Azure), but the shape — who wins where, the revert rate band, the
 // drop:create recommendation ratio — should hold. See EXPERIMENTS.md.
@@ -15,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,28 +34,59 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "fig6", "fig6 | opstats | reverts")
-		tierStr   = flag.String("tier", "premium", "fig6 tier: premium | standard")
-		databases = flag.Int("databases", 12, "fleet size")
-		days      = flag.Int("days", 10, "virtual days (opstats/reverts)")
-		seed      = flag.Int64("seed", 20170301, "fleet seed")
+		exp        = flag.String("experiment", "fig6", "fig6 | opstats | reverts")
+		tierStr    = flag.String("tier", "premium", "fig6 tier: premium | standard")
+		databases  = flag.Int("databases", 12, "fleet size")
+		days       = flag.Int("days", 10, "virtual days (opstats/reverts)")
+		seed       = flag.Int64("seed", 20170301, "fleet seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "tenant worker pool size (results are identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	switch strings.ToLower(*exp) {
 	case "fig6":
-		runFig6(*tierStr, *databases, *seed)
+		runFig6(*tierStr, *databases, *seed, *workers)
 	case "opstats":
-		runOps(*databases, *days, *seed, false)
+		runOps(*databases, *days, *seed, *workers, false)
 	case "reverts":
-		runOps(*databases, *days, *seed, true)
+		runOps(*databases, *days, *seed, *workers, true)
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 }
 
-func runFig6(tierStr string, databases int, seed int64) {
+// phaseTimer reports per-phase wall-clock durations on stderr, keeping
+// stdout byte-identical across worker counts.
+type phaseTimer struct {
+	label string
+	start time.Time
+}
+
+func startPhase(label string) *phaseTimer {
+	return &phaseTimer{label: label, start: time.Now()}
+}
+
+func (p *phaseTimer) done() {
+	fmt.Fprintf(os.Stderr, "fleetsim: phase %-8s %8.2fs\n", p.label, time.Since(p.start).Seconds())
+}
+
+func runFig6(tierStr string, databases int, seed int64, workers int) {
 	var tier engine.Tier
 	switch strings.ToLower(tierStr) {
 	case "premium":
@@ -59,22 +99,28 @@ func runFig6(tierStr string, databases int, seed int64) {
 	}
 	fmt.Printf("Fig 6 experiment: %d %s-tier databases, B-instance phases, N=20 k=5 (seed %d)\n\n",
 		databases, tier, seed)
-	fl, err := fleet.Build(fleet.Spec{Databases: databases, Tier: tier, Seed: seed, UserIndexes: true})
+	build := startPhase("build")
+	fl, err := fleet.Build(fleet.Spec{Databases: databases, Tier: tier, Seed: seed, UserIndexes: true, Workers: workers})
+	build.done()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+	run := startPhase("run")
 	sum := fl.RunFig6(tier.String(), experiment.DefaultFig6Config())
+	run.done()
 	fmt.Println(sum.String())
 	fmt.Println("paper reference — premium: DTA 42% / MI 13% / User 15% / Comparable ~42%;")
 	fmt.Println("                  standard: DTA 27% / MI 6% / User 10% / Comparable ~45%;")
 	fmt.Println("                  avg improvement: DTA ~82%, MI ~72%, User ~35% (§7.3)")
 }
 
-func runOps(databases, days int, seed int64, revertFocus bool) {
+func runOps(databases, days int, seed int64, workers int, revertFocus bool) {
 	fmt.Printf("§8.1 operational simulation: %d mixed-tier databases, %d virtual days (seed %d)\n\n",
 		databases, days, seed)
-	fl, err := fleet.Build(fleet.Spec{Databases: databases, MixedTiers: true, Seed: seed, UserIndexes: true})
+	build := startPhase("build")
+	fl, err := fleet.Build(fleet.Spec{Databases: databases, MixedTiers: true, Seed: seed, UserIndexes: true, Workers: workers})
+	build.done()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
@@ -86,31 +132,16 @@ func runOps(databases, days int, seed int64, revertFocus bool) {
 		// Everyone auto-implements so the revert statistics have volume.
 		cfg.AutoImplementFraction = 1.0
 	}
+	run := startPhase("run")
 	res, err := fl.RunOps(fleet.Spec{Seed: seed, UserIndexes: true}, cfg)
+	run.done()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
-	s := res.Stats
 	if revertFocus {
-		hub := res.Plane.Telemetry()
-		fmt.Println("revert analysis (paper: ~11% of automated actions reverted; MI reverts skew")
-		fmt.Println("to writes becoming more expensive; SELECT regressions implicate optimizer error):")
-		fmt.Printf("  implemented actions:        %d\n", s.CreatesImplemented+s.DropsImplemented)
-		fmt.Printf("  reverts:                    %d (%.1f%%)\n", s.Reverts, s.RevertRate*100)
-		fmt.Printf("  write-regression reverts:   %d (of which MI-sourced: %d)\n",
-			hub.Counter("reverts.write_regression"), hub.Counter("reverts.write_regression.mi"))
-		fmt.Printf("  SELECT-regression reverts:  %d\n", hub.Counter("reverts.select_regression"))
+		fmt.Print(res.RevertReport())
 		return
 	}
-	fmt.Println("operational statistics (cf. §8.1):")
-	fmt.Printf("  databases managed:                 %d\n", s.Databases)
-	fmt.Printf("  create recommendations:            %d\n", s.CreateRecommended)
-	fmt.Printf("  drop recommendations:               %d (paper: drops outnumber creates ~14:1 on a mature fleet)\n", s.DropRecommended)
-	fmt.Printf("  indexes auto-created / dropped:    %d / %d\n", s.CreatesImplemented, s.DropsImplemented)
-	fmt.Printf("  validations / reverts:             %d / %d (%.1f%%)\n", s.Validations, s.Reverts, s.RevertRate*100)
-	fmt.Printf("  queries >2x cheaper:               %d\n", res.QueriesTwiceFaster)
-	fmt.Printf("  databases with >50%% CPU reduction: %d\n", res.DatabasesHalvedCPU)
-	fmt.Printf("  steady-state databases:            %d\n", res.SteadyStateDatabases)
-	fmt.Printf("  incidents:                         %d\n", s.Incidents)
+	fmt.Print(res.Report())
 }

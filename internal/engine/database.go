@@ -332,7 +332,10 @@ func (d *Database) Table(name string) (optimizer.TableInfo, bool) {
 	}, true
 }
 
-// Indexes implements optimizer.Catalog.
+// Indexes implements optimizer.Catalog. The result is sorted by index
+// name: the optimizer breaks cost ties by candidate order, so handing it
+// map-iteration order would make plan choice (and everything downstream —
+// measured costs, noise draws, recommendations) vary run to run.
 func (d *Database) Indexes(table string) []optimizer.IndexInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -348,6 +351,7 @@ func (d *Database) Indexes(table string) []optimizer.IndexInfo {
 			RowCount:  int64(ix.tree.Len()),
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
 	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
 	return out
 }

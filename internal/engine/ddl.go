@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -308,5 +309,6 @@ func (d *Database) DroppedAutoIndexes(table, column string) []string {
 			out = append(out, ix.def.Name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }

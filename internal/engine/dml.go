@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"autoindex/internal/executor"
@@ -10,6 +11,22 @@ import (
 	"autoindex/internal/storage"
 	"autoindex/internal/value"
 )
+
+// tableIndexes returns the indexes on the named table in sorted-name
+// order. DML maintenance charges the meter per index, and float addition
+// is not associative — iterating the d.indexes map directly would make
+// measured CPU wobble in its last bits from run to run. Callers must
+// hold d.mu.
+func (d *Database) tableIndexes(tableName string) []*indexData {
+	var out []*indexData
+	for _, ix := range d.indexes {
+		if strings.EqualFold(ix.def.Table, tableName) {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].def.Name < out[j].def.Name })
+	return out
+}
 
 // execInsert inserts literal rows, maintaining every secondary index (the
 // maintenance cost the MI recommender famously ignores, §8.1).
@@ -104,10 +121,7 @@ func (d *Database) insertRowLocked(t *tableData, row value.Row, meter *executor.
 		loc = value.Key{value.NewInt(int64(rid))}
 	}
 	t.rowCount++
-	for _, ix := range d.indexes {
-		if !strings.EqualFold(ix.def.Table, t.def.Name) {
-			continue
-		}
+	for _, ix := range d.tableIndexes(t.def.Name) {
 		k, p := ix.entryFor(t, row, loc)
 		ix.tree.Insert(k, p)
 		meter.ChargePageWrites(float64(ix.tree.Height()))
@@ -214,10 +228,7 @@ func (d *Database) execUpdate(root *optimizer.Node, s *sqlparser.UpdateStmt, met
 		}
 	}
 	var affected []*indexData
-	for _, ix := range d.indexes {
-		if !strings.EqualFold(ix.def.Table, t.def.Name) {
-			continue
-		}
+	for _, ix := range d.tableIndexes(t.def.Name) {
 		for _, a := range s.Set {
 			if ix.def.HasColumn(a.Column) {
 				affected = append(affected, ix)
@@ -261,12 +272,7 @@ func (d *Database) execUpdate(root *optimizer.Node, s *sqlparser.UpdateStmt, met
 		// entry moves; otherwise only affected indexes do.
 		maintain := affected
 		if pkTouched {
-			maintain = nil
-			for _, ix := range d.indexes {
-				if strings.EqualFold(ix.def.Table, t.def.Name) {
-					maintain = append(maintain, ix)
-				}
-			}
+			maintain = d.tableIndexes(t.def.Name)
 		}
 		for _, ix := range maintain {
 			oldK, _ := ix.entryFor(t, m.row, m.loc)
@@ -304,10 +310,7 @@ func (d *Database) execDelete(root *optimizer.Node, s *sqlparser.DeleteStmt, met
 			meter.ChargePageWrites(1)
 		}
 		t.rowCount--
-		for _, ix := range d.indexes {
-			if !strings.EqualFold(ix.def.Table, t.def.Name) {
-				continue
-			}
+		for _, ix := range d.tableIndexes(t.def.Name) {
 			k, _ := ix.entryFor(t, m.row, m.loc)
 			ix.tree.Delete(k)
 			meter.ChargePageWrites(float64(ix.tree.Height()))

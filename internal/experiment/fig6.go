@@ -342,7 +342,16 @@ func phaseImprovement(base, phase *PhaseMeasurement, alpha float64) (float64, bo
 	}
 	var baseCPU, phaseCPU float64
 	sigImproved, sigRegressed := 0.0, 0.0
-	for h, b := range base.CPU {
+	// Accumulate in sorted-hash order: float addition is not associative,
+	// so summing in map-iteration order would make the improvement
+	// percentage wobble in its last digits from run to run.
+	hashes := make([]uint64, 0, len(base.CPU))
+	for h := range base.CPU {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	for _, h := range hashes {
+		b := base.CPU[h]
 		p, ok := phase.CPU[h]
 		if !ok {
 			continue

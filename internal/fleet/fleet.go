@@ -2,6 +2,16 @@
 // substrate for reproducing Fig. 6 (recommender comparison at scale on
 // B-instances) and the §8.1 operational statistics (long-horizon
 // auto-indexing with validation and drops across many databases).
+//
+// The harness shards tenants across a configurable worker pool
+// (Spec.Workers; default one worker per CPU). Every tenant owns an
+// isolated sim.VirtualClock and draws randomness only from per-tenant
+// streams derived as seed ^ hash(tenantID) (sim.TenantRNG), so a fleet
+// run is bit-identical at any worker count: tenant-hours execute in
+// parallel between barriers, and everything cross-tenant — control-plane
+// micro-services, result merging, fleet-growth decisions — runs serially
+// at the barrier in tenant order. See the sim package's concurrency and
+// determinism contract.
 package fleet
 
 import (
@@ -27,21 +37,38 @@ type Spec struct {
 	Scale float64
 	// UserIndexes gives tenants pre-existing human tuning.
 	UserIndexes bool
+	// Workers is the size of the tenant worker pool; <= 0 means one worker
+	// per available CPU. Results do not depend on the value (only
+	// wall-clock time does).
+	Workers int
 }
 
-// Fleet is a set of tenants sharing one region clock.
+// Fleet is a set of tenants. The control plane observes the fleet through
+// the region Clock; each tenant's database runs on its own isolated
+// virtual clock, advanced in lockstep with the region clock at hour
+// barriers so cross-tenant timestamps stay comparable.
 type Fleet struct {
-	Clock   *sim.VirtualClock
+	// Clock is the region clock: the control plane's time source. Tenant
+	// databases each own a separate clock (see tenant isolation in the
+	// package comment).
+	Clock *sim.VirtualClock
+	// RNG is the fleet-level stream for serial, cross-tenant decisions
+	// (auto-implement assignment, fleet growth). Per-tenant draws never
+	// come from it.
 	RNG     *sim.RNG
 	Tenants []*workload.Tenant
+
+	spec   Spec
+	clocks []*sim.VirtualClock // clocks[i] belongs to Tenants[i]
 }
 
-// Build creates the fleet.
+// Build creates the fleet, constructing tenants in parallel across the
+// worker pool. Tenant i's schema, data and templates derive only from its
+// own seed, so parallel construction is deterministic.
 func Build(spec Spec) (*Fleet, error) {
-	clock := sim.NewClock()
-	rng := sim.NewRNG(spec.Seed)
-	f := &Fleet{Clock: clock, RNG: rng}
-	for i := 0; i < spec.Databases; i++ {
+	f := &Fleet{Clock: sim.NewClock(), RNG: sim.NewRNG(spec.Seed), spec: spec}
+	profiles := make([]workload.Profile, spec.Databases)
+	for i := range profiles {
 		tier := spec.Tier
 		if spec.MixedTiers {
 			switch i % 4 {
@@ -53,28 +80,77 @@ func Build(spec Spec) (*Fleet, error) {
 				tier = engine.TierPremium
 			}
 		}
-		p := workload.Profile{
+		profiles[i] = workload.Profile{
 			Name:        fmt.Sprintf("db%03d", i),
 			Tier:        tier,
 			Seed:        spec.Seed + int64(i)*7919,
 			Scale:       spec.Scale,
 			UserIndexes: spec.UserIndexes,
 		}
-		tn, err := workload.NewTenant(p, clock)
+	}
+	f.Tenants = make([]*workload.Tenant, len(profiles))
+	f.clocks = make([]*sim.VirtualClock, len(profiles))
+	errs := make([]error, len(profiles))
+	forEach(spec.Workers, len(profiles), func(i int) {
+		clock := sim.NewClock()
+		tn, err := workload.NewTenant(profiles[i], clock)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		f.Tenants[i] = tn
+		f.clocks[i] = clock
+	})
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %d: %w", i, err)
 		}
-		f.Tenants = append(f.Tenants, tn)
 	}
 	return f, nil
 }
 
-// RunFig6 executes the §7.3 experiment across the fleet and summarises.
-func (f *Fleet) RunFig6(tierLabel string, cfg experiment.Fig6Config) experiment.Fig6Summary {
-	var results []experiment.DatabaseResult
-	for _, tn := range f.Tenants {
-		results = append(results, experiment.RunFig6ForTenant(tn, cfg, f.RNG))
+// addTenant registers a tenant built outside Build (fleet growth).
+func (f *Fleet) addTenant(tn *workload.Tenant, clock *sim.VirtualClock) {
+	f.Tenants = append(f.Tenants, tn)
+	f.clocks = append(f.clocks, clock)
+}
+
+// alignClocks advances the region clock and every tenant clock to the
+// fleet-wide maximum. Called at barriers only (no tenant worker running):
+// online index builds and B-instance replays advance only the affected
+// tenant's clock, and the maximum over all clocks is independent of the
+// order tenants executed in, so re-alignment preserves determinism.
+func (f *Fleet) alignClocks() {
+	max := f.Clock.Now()
+	for _, c := range f.clocks {
+		if t := c.Now(); t.After(max) {
+			max = t
+		}
 	}
+	f.Clock.AdvanceTo(max)
+	for _, c := range f.clocks {
+		c.AdvanceTo(max)
+	}
+}
+
+// tenantStream derives tenant tn's named RNG stream from the fleet seed:
+// sim.TenantRNG gives the per-tenant root (seed ^ hash(tenantID)), Child
+// isolates the purpose so new consumers don't perturb existing ones.
+func (f *Fleet) tenantStream(tn *workload.Tenant, purpose string) *sim.RNG {
+	return sim.TenantRNG(f.spec.Seed, tn.DB.Name()).Child(purpose)
+}
+
+// RunFig6 executes the §7.3 experiment across the fleet, one tenant per
+// worker slot. Each tenant's experiment runs on its own B-instances,
+// clock and RNG stream; the summary merges per-tenant results in tenant
+// order.
+func (f *Fleet) RunFig6(tierLabel string, cfg experiment.Fig6Config) experiment.Fig6Summary {
+	results := make([]experiment.DatabaseResult, len(f.Tenants))
+	forEach(f.spec.Workers, len(f.Tenants), func(i int) {
+		tn := f.Tenants[i]
+		results[i] = experiment.RunFig6ForTenant(tn, cfg, f.tenantStream(tn, "fig6"))
+	})
+	f.alignClocks()
 	return experiment.Summarize(tierLabel, results)
 }
 
@@ -121,7 +197,11 @@ type OpsResult struct {
 	Plane                *controlplane.ControlPlane
 }
 
-// RunOps runs the long-horizon operational simulation.
+// RunOps runs the long-horizon operational simulation. Each virtual hour,
+// tenant workloads replay in parallel across the worker pool; the
+// control-plane micro-services then step serially at the hour barrier, as
+// do fleet-growth and measurement bookkeeping, so the outcome is
+// bit-identical at any worker count.
 func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 	cp := controlplane.New(cfg.Plane, f.Clock, controlplane.NewMemStore(), nil)
 	autoRNG := f.RNG.Child("ops/auto")
@@ -133,6 +213,23 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 	startCosts := make(map[string]map[uint64]float64)
 	startTotal := make(map[string]float64)
 
+	// Per-tenant failover streams (keyed by database name) keep draw
+	// sequences independent of worker scheduling; the shared stream the
+	// serial harness used would interleave draws in completion order.
+	failRNG := make(map[string]*sim.RNG)
+	failStream := func(tn *workload.Tenant) *sim.RNG {
+		name := tn.DB.Name()
+		r, ok := failRNG[name]
+		if !ok {
+			r = f.tenantStream(tn, "ops/failover")
+			failRNG[name] = r
+		}
+		return r
+	}
+	for _, tn := range f.Tenants {
+		failStream(tn)
+	}
+
 	newTenantRNG := f.RNG.Child("ops/new")
 	nextNew := time.Duration(0)
 	if cfg.NewTenantEvery > 0 {
@@ -141,16 +238,18 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 	start := f.Clock.Now()
 	hours := cfg.Days * 24
 	warmupHours := 24
-	failRNG := f.RNG.Child("ops/failover")
 	for h := 0; h < hours; h++ {
-		for _, tn := range f.Tenants {
+		forEach(f.spec.Workers, len(f.Tenants), func(i int) {
+			tn := f.Tenants[i]
 			tn.Run(0, cfg.StatementsPerHour)
-			if failRNG.Float64() < cfg.FailoverProb/24 {
+			if failRNG[tn.DB.Name()].Float64() < cfg.FailoverProb/24 {
 				tn.DB.Failover()
 			}
-		}
+		})
 		f.Clock.Advance(time.Hour)
+		f.alignClocks() // tenants catch up to the region hour tick
 		cp.Step()
+		f.alignClocks() // region catches up to index-build time on tenants
 		if h == warmupHours {
 			for _, tn := range f.Tenants {
 				per, total := windowCosts(tn, start, f.Clock.Now())
@@ -161,17 +260,19 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 		if cfg.NewTenantEvery > 0 && f.Clock.Now().Sub(start) >= nextNew {
 			nextNew += cfg.NewTenantEvery
 			idx := len(f.Tenants)
+			clock := sim.NewVirtualClock(f.Clock.Now())
 			tn, err := workload.NewTenant(workload.Profile{
 				Name:        fmt.Sprintf("db%03d", idx),
 				Tier:        engine.TierStandard,
 				Seed:        spec.Seed + int64(idx)*7919 + newTenantRNG.Int63n(1<<30),
 				Scale:       spec.Scale,
 				UserIndexes: spec.UserIndexes,
-			}, f.Clock)
+			}, clock)
 			if err == nil {
 				auto := autoRNG.Float64() < cfg.AutoImplementFraction
 				cp.Manage(tn.DB, "server-0", controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
-				f.Tenants = append(f.Tenants, tn)
+				f.addTenant(tn, clock)
+				failStream(tn)
 			}
 		}
 	}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// normalizeWorkers resolves a worker-count setting: non-positive means one
+// worker per available CPU (runtime.GOMAXPROCS), and the count is capped
+// at the number of work items so idle goroutines are never spawned.
+func normalizeWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEach runs fn(0..n-1) across a pool of workers and waits for all of
+// them. Work is handed out through an atomic cursor, so assignment order
+// is scheduling-dependent — callers must make fn(i) independent of fn(j)
+// (per-tenant clocks, per-tenant RNG streams, writes only to slot i) so
+// the merged result is identical at any worker count. With workers <= 1
+// the loop runs inline on the calling goroutine, which keeps single-worker
+// runs trivially comparable against parallel ones in determinism tests.
+func forEach(workers, n int, fn func(i int)) {
+	workers = normalizeWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+// Package recommend groups the index recommenders described in §5 of
+// the paper. It contains no code itself — the implementations live in
+// its two subpackages, which share the candidate/recommendation types
+// in internal/core rather than importing each other:
+//
+//   - recommend/mi — the Missing-Index-DMV-based recommender (§5.2):
+//     cheap, always-on, driven by snapshots of the optimizer's
+//     missing-index candidates with slope t-tests, conservative
+//     merging and a trained low-impact classifier.
+//   - recommend/dta — the re-architected Database Engine Tuning
+//     Advisor (§5.3): expensive, budgeted, driven by what-if costing
+//     of a workload identified from Query Store.
+//
+// The control plane (internal/controlplane) invokes both and feeds
+// their output through one recommendation state machine; the drop-index
+// analysis (§5.4) lives separately in internal/dropper because it
+// consumes usage statistics, not workload cost.
+package recommend

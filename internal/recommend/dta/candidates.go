@@ -142,8 +142,17 @@ func analyzeStatement(db *engine.Database, stmt sqlparser.Statement) map[string]
 // reduces this statement's estimated cost.
 func candidatesForStatement(db *engine.Database, stmt sqlparser.Statement, opts Options, session *engine.WhatIfSession) []core.Candidate {
 	analyses := analyzeStatement(db, stmt)
+	// Visit tables in sorted order: candidate order decides which shapes
+	// are costed before the session's what-if budget runs out, so map
+	// iteration here would make recommendations vary run to run.
+	tables := make([]string, 0, len(analyses))
+	for k := range analyses {
+		tables = append(tables, k)
+	}
+	sort.Strings(tables)
 	var defs []schema.IndexDef
-	for _, a := range analyses {
+	for _, k := range tables {
+		a := analyses[k]
 		t, ok := db.Table(a.table)
 		if !ok {
 			continue

@@ -154,8 +154,17 @@ func (r *Recommender) Snapshots() int {
 func (r *Recommender) Recommend() []core.Candidate {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Walk histories in sorted-key order: candidate order feeds merging
+	// and the final impact sort's tie-breaking, so map iteration here
+	// would make the top-k set vary run to run.
+	hkeys := make([]string, 0, len(r.histories))
+	for k := range r.histories {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
 	var cands []core.Candidate
-	for _, h := range r.histories {
+	for _, k := range hkeys {
+		h := r.histories[k]
 		if h.entry == nil {
 			continue
 		}
@@ -189,8 +198,13 @@ func (r *Recommender) Recommend() []core.Candidate {
 		}
 		cands = kept
 	}
-	// Top-k by impact.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].EstImprovement > cands[j].EstImprovement })
+	// Top-k by impact; ties broken by name so the cut at TopK is stable.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].EstImprovement != cands[j].EstImprovement {
+			return cands[i].EstImprovement > cands[j].EstImprovement
+		}
+		return cands[i].Def.Name < cands[j].Def.Name
+	})
 	if len(cands) > r.cfg.TopK {
 		cands = cands[:r.cfg.TopK]
 	}

@@ -3,6 +3,26 @@
 // model. The paper's service observes databases over hours and days; with a
 // virtual clock those horizons elapse instantly and deterministically, which
 // is what makes fleet-scale experiments reproducible in tests.
+//
+// # Concurrency and determinism contract
+//
+// Parallel fleet simulations shard tenants across worker goroutines. Two
+// rules keep the results bit-identical regardless of worker count or
+// scheduling order:
+//
+//  1. Clocks are per-tenant, never shared. Each tenant database owns an
+//     isolated VirtualClock; only the coordinator that created the clocks
+//     may advance or re-align them, and only at barriers when no tenant
+//     worker is running. Sharing one VirtualClock between concurrently
+//     simulated tenants is a bug: Sleep calls from one tenant would move
+//     time under another, making timestamps depend on goroutine schedule.
+//
+//  2. RNG streams are per-tenant, never shared. Draws from a shared
+//     stream interleave in scheduling order; per-tenant streams (see
+//     TenantRNG) make each tenant's draw sequence a pure function of
+//     (seed, tenantID). A single RNG value is internally mutex-guarded,
+//     so sharing is memory-safe — but it is still nondeterministic under
+//     concurrency, which is why the fleet harness never does it.
 package sim
 
 import (
@@ -69,6 +89,18 @@ func (c *VirtualClock) Set(t time.Time) {
 		panic(fmt.Sprintf("sim: clock moved backwards: %v -> %v", c.now, t))
 	}
 	c.now = t
+}
+
+// AdvanceTo moves the clock forward to t; it is a no-op if t is not later
+// than the current time. Fleet coordinators use it at barriers to re-align
+// per-tenant clocks that drifted apart (e.g. online index builds advance
+// only the affected tenant's clock) without risking the Set panic.
+func (c *VirtualClock) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
 }
 
 // WallClock adapts the real time package to the Clock interface, for

@@ -25,9 +25,25 @@ func NewRNG(seed int64) *RNG {
 // Child derives an independent stream keyed by name. The derivation is
 // stable: the same parent seed and name always yield the same stream.
 func (r *RNG) Child(name string) *RNG {
+	return NewRNG(DeriveSeed(r.seed, name))
+}
+
+// DeriveSeed folds a string key into a seed: seed ^ FNV-64a(key). It is
+// the single derivation rule behind Child and TenantRNG, exposed so that
+// components can reason about (and test) stream independence.
+func DeriveSeed(seed int64, key string) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(name))
-	return NewRNG(r.seed ^ int64(h.Sum64()))
+	h.Write([]byte(key))
+	return seed ^ int64(h.Sum64())
+}
+
+// TenantRNG returns the root RNG stream for one tenant, derived as
+// seed ^ hash(tenantID). Parallel fleet simulations give every tenant its
+// own stream (and further Child streams below it) so that draws never
+// depend on the order tenants are scheduled across workers — the same
+// (seed, tenantID) pair yields bit-identical draws at any worker count.
+func TenantRNG(seed int64, tenantID string) *RNG {
+	return NewRNG(DeriveSeed(seed, "tenant/"+tenantID))
 }
 
 // Seed returns the seed this stream was created with.

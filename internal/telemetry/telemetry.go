@@ -2,10 +2,18 @@
 // service is debugged through (§1.2, §3): engineers never see query text
 // or data, only counters and coarse events. Components emit into a Hub;
 // dashboards (the fleetsim binary) read aggregated views.
+//
+// The Hub is contention-safe under parallel emitters: counters are split
+// across lock-striped shards keyed by counter name, so tenants simulated
+// on different worker goroutines rarely contend on the same mutex, and
+// Snapshot gives readers a consistent point-in-time view mid-run. All
+// accessors return copies — callers can never race with concurrent
+// Emit/Inc through a returned slice or map.
 package telemetry
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -19,12 +27,21 @@ type Event struct {
 	Detail   string // must not contain customer data
 }
 
+// counterShards is the number of lock stripes for counters. 16 keeps the
+// per-shard maps small and makes same-name contention the only contention.
+const counterShards = 16
+
+type counterShard struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
 // Hub collects counters and events.
 type Hub struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	events   []Event
-	maxEv    int
+	shards [counterShards]counterShard
+	evMu   sync.Mutex
+	events []Event
+	maxEv  int
 }
 
 // NewHub returns an empty hub retaining up to maxEvents events.
@@ -32,52 +49,112 @@ func NewHub(maxEvents int) *Hub {
 	if maxEvents <= 0 {
 		maxEvents = 4096
 	}
-	return &Hub{counters: make(map[string]int64), maxEv: maxEvents}
+	h := &Hub{maxEv: maxEvents}
+	for i := range h.shards {
+		h.shards[i].m = make(map[string]int64)
+	}
+	return h
+}
+
+// shard returns the counter shard for a name.
+func (h *Hub) shard(name string) *counterShard {
+	f := fnv.New32a()
+	f.Write([]byte(name))
+	return &h.shards[f.Sum32()%counterShards]
 }
 
 // Inc adds delta to a named counter.
 func (h *Hub) Inc(name string, delta int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.counters[name] += delta
+	s := h.shard(name)
+	s.mu.Lock()
+	s.m[name] += delta
+	s.mu.Unlock()
 }
 
 // Counter reads a counter.
 func (h *Hub) Counter(name string) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.counters[name]
+	s := h.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
 }
 
-// Counters returns a sorted snapshot of all counters.
+// Counters returns a sorted, formatted copy of all counters.
 func (h *Hub) Counters() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	names := make([]string, 0, len(h.counters))
-	for n := range h.counters {
+	c := h.counterMap()
+	names := make([]string, 0, len(c))
+	for n := range c {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	out := make([]string, len(names))
 	for i, n := range names {
-		out[i] = fmt.Sprintf("%s=%d", n, h.counters[n])
+		out[i] = fmt.Sprintf("%s=%d", n, c[n])
+	}
+	return out
+}
+
+// counterMap copies every shard's counters while holding all shard locks,
+// so the result is a consistent cross-shard view.
+func (h *Hub) counterMap() map[string]int64 {
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+	}
+	out := make(map[string]int64)
+	for i := range h.shards {
+		for n, v := range h.shards[i].m {
+			out[n] = v
+		}
+	}
+	for i := len(h.shards) - 1; i >= 0; i-- {
+		h.shards[i].mu.Unlock()
 	}
 	return out
 }
 
 // Emit records an event (dropping the oldest past capacity).
 func (h *Hub) Emit(e Event) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.evMu.Lock()
+	defer h.evMu.Unlock()
 	h.events = append(h.events, e)
 	if len(h.events) > h.maxEv {
 		h.events = h.events[len(h.events)-h.maxEv:]
 	}
 }
 
-// Events returns a copy of retained events.
+// Events returns a copy of retained events; the hub keeps no reference to
+// the returned slice.
 func (h *Hub) Events() []Event {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.evMu.Lock()
+	defer h.evMu.Unlock()
 	return append([]Event(nil), h.events...)
+}
+
+// Snapshot is a consistent point-in-time copy of the hub's state.
+type Snapshot struct {
+	Counters map[string]int64
+	Events   []Event
+}
+
+// Snapshot captures all counters and events atomically: every shard lock
+// and the event lock are held together while copying, so no Inc or Emit
+// can land between a counter being read and an event being read. Safe to
+// call mid-run from a dashboard goroutine while emitters are active.
+func (h *Hub) Snapshot() Snapshot {
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+	}
+	h.evMu.Lock()
+	counters := make(map[string]int64)
+	for i := range h.shards {
+		for n, v := range h.shards[i].m {
+			counters[n] = v
+		}
+	}
+	events := append([]Event(nil), h.events...)
+	h.evMu.Unlock()
+	for i := len(h.shards) - 1; i >= 0; i-- {
+		h.shards[i].mu.Unlock()
+	}
+	return Snapshot{Counters: counters, Events: events}
 }

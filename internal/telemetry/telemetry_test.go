@@ -52,3 +52,63 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("lost increments: %d", h.Counter("x"))
 	}
 }
+
+// TestSnapshotConsistent hammers the hub with one writer alternating two
+// counters (so |a-b| <= 1 holds at every instant) while parallel readers
+// take snapshots. A consistent point-in-time view must preserve the
+// invariant; reading the counters one lock at a time would not.
+func TestSnapshotConsistent(t *testing.T) {
+	h := NewHub(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				a, b := snap.Counters["paired.a"], snap.Counters["paired.b"]
+				if d := a - b; d < -1 || d > 1 {
+					t.Errorf("inconsistent snapshot: a=%d b=%d", a, b)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		h.Inc("paired.a", 1)
+		h.Inc("paired.b", 1)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotAndAccessorsCopy ensures returned state is detached: mutating
+// a returned snapshot or slice must not affect the hub.
+func TestSnapshotAndAccessorsCopy(t *testing.T) {
+	h := NewHub(4)
+	h.Inc("c", 7)
+	h.Emit(Event{At: time.Unix(1, 0), Kind: "k", Detail: "d"})
+
+	snap := h.Snapshot()
+	snap.Counters["c"] = 999
+	snap.Events[0].Detail = "mutated"
+	evs := h.Events()
+	evs[0].Kind = "mutated"
+
+	if h.Counter("c") != 7 {
+		t.Fatalf("snapshot mutation leaked into hub: %d", h.Counter("c"))
+	}
+	got := h.Snapshot()
+	if got.Events[0].Detail != "d" || got.Events[0].Kind != "k" {
+		t.Fatalf("event mutation leaked into hub: %+v", got.Events[0])
+	}
+	if got.Counters["c"] != 7 {
+		t.Fatalf("counter map not detached: %d", got.Counters["c"])
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"autoindex/internal/engine"
@@ -461,15 +462,19 @@ func (t *Tenant) createUserIndexes() error {
 		made[name] = true
 		n++
 	}
-	// Some users also leave duplicate indexes behind (§5.4).
-	if r.Float64() < 0.3 {
+	// Some users also leave duplicate indexes behind (§5.4). Duplicate
+	// the first index by name — picking one out of map iteration would
+	// make the schema itself vary run to run.
+	if r.Float64() < 0.3 && len(made) > 0 {
+		names := make([]string, 0, len(made))
 		for name := range made {
-			dup, _ := t.DB.IndexDef(name)
-			dup.Name = name + "_dup"
-			dup.IncludedColumns = nil
-			_ = t.DB.CreateIndex(dup, engine.IndexBuildOptions{Online: true})
-			break
+			names = append(names, name)
 		}
+		sort.Strings(names)
+		dup, _ := t.DB.IndexDef(names[0])
+		dup.Name = names[0] + "_dup"
+		dup.IncludedColumns = nil
+		_ = t.DB.CreateIndex(dup, engine.IndexBuildOptions{Online: true})
 	}
 	return nil
 }
