@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench cover clean
 
 all: build test
 
@@ -15,13 +15,29 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages under the race detector: the
-# sharded fleet harness, the telemetry hub, and the control plane's
-# micro-service loops vs. concurrent injectors. Part of tier-1 verify.
+# sharded fleet harness, the telemetry hub, the fault-injection layer,
+# and the control plane's micro-service loops vs. concurrent injectors —
+# including the chaos property/determinism tests those packages carry.
+# The engine's differential suite (fault-injected DDL vs. concurrent
+# build paths) runs under race too. Part of tier-1 verify.
 race:
-	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane
+	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane ./internal/faults
+	$(GO) test -race -count=1 -run 'Differential' ./internal/engine
 
 vet:
 	$(GO) vet ./...
+
+# Coverage floor for the chaos-critical packages: the control plane's
+# state machine / crash recovery and the fault-injection layer. The
+# floor is a ratchet — raise it when coverage rises, never lower it.
+COVER_FLOOR = 75
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/controlplane ./internal/faults
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { pct = $$3; sub(/%/, "", pct); \
+		  if (pct + 0 < floor) { printf "FAIL: coverage %s%% below floor %d%%\n", pct, floor; exit 1 } \
+		  else { printf "ok: coverage %s%% meets floor %d%%\n", pct, floor } }'
 
 # Paper tables/figures as benchmarks; BenchmarkFleetParallel also
 # rewrites BENCH_fleet.json with per-worker-count timings.

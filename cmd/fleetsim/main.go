@@ -41,8 +41,13 @@ func main() {
 		seed       = flag.Int64("seed", 20170301, "fleet seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "tenant worker pool size (results are identical at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded faults (opstats/reverts only) and audit invariants")
+		faultRate  = flag.Float64("chaos-fault-rate", 0.05, "per-opportunity probability of engine/telemetry/querystore faults")
+		crashRate  = flag.Float64("chaos-crash-rate", 0.02, "per-save probability of each control-plane crash point")
 	)
 	flag.Parse()
+
+	chaos := fleet.ChaosConfig{Enabled: *chaosOn, FaultRate: *faultRate, CrashRate: *crashRate}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -60,11 +65,15 @@ func main() {
 
 	switch strings.ToLower(*exp) {
 	case "fig6":
+		if chaos.Enabled {
+			fmt.Fprintln(os.Stderr, "fleetsim: -chaos applies to opstats/reverts, not fig6")
+			os.Exit(2)
+		}
 		runFig6(*tierStr, *databases, *seed, *workers)
 	case "opstats":
-		runOps(*databases, *days, *seed, *workers, false)
+		runOps(*databases, *days, *seed, *workers, false, chaos)
 	case "reverts":
-		runOps(*databases, *days, *seed, *workers, true)
+		runOps(*databases, *days, *seed, *workers, true, chaos)
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -115,9 +124,12 @@ func runFig6(tierStr string, databases int, seed int64, workers int) {
 	fmt.Println("                  avg improvement: DTA ~82%, MI ~72%, User ~35% (§7.3)")
 }
 
-func runOps(databases, days int, seed int64, workers int, revertFocus bool) {
+func runOps(databases, days int, seed int64, workers int, revertFocus bool, chaos fleet.ChaosConfig) {
 	fmt.Printf("§8.1 operational simulation: %d mixed-tier databases, %d virtual days (seed %d)\n\n",
 		databases, days, seed)
+	if chaos.Enabled {
+		fmt.Printf("chaos mode: fault rate %.3f, crash rate %.3f\n\n", chaos.FaultRate, chaos.CrashRate)
+	}
 	build := startPhase("build")
 	fl, err := fleet.Build(fleet.Spec{Databases: databases, MixedTiers: true, Seed: seed, UserIndexes: true, Workers: workers})
 	build.done()
@@ -128,6 +140,7 @@ func runOps(databases, days int, seed int64, workers int, revertFocus bool) {
 	cfg := fleet.DefaultOpsConfig()
 	cfg.Days = days
 	cfg.NewTenantEvery = 72 * time.Hour
+	cfg.Chaos = chaos
 	if revertFocus {
 		// Everyone auto-implements so the revert statistics have volume.
 		cfg.AutoImplementFraction = 1.0
@@ -141,7 +154,11 @@ func runOps(databases, days int, seed int64, workers int, revertFocus bool) {
 	}
 	if revertFocus {
 		fmt.Print(res.RevertReport())
-		return
+	} else {
+		fmt.Print(res.Report())
 	}
-	fmt.Print(res.Report())
+	if res.Chaos != nil {
+		fmt.Println()
+		fmt.Print(res.Chaos.Format())
+	}
 }

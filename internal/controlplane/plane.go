@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -125,8 +126,27 @@ func New(cfg Config, clock sim.Clock, store Store, hub *telemetry.Hub) *ControlP
 		hub:        hub,
 		dbs:        make(map[string]*managed),
 		server:     make(map[string]ServerSettings),
+		recSeq:     recoverRecSeq(store),
 		classifier: mathx.NewLogistic(4),
 	}
+}
+
+// recoverRecSeq resumes the recommendation ID sequence from the highest
+// persisted ID. A control plane restarted over an existing store must
+// never restart the sequence at zero: reissued IDs would silently
+// overwrite live records via SaveRecord's upsert semantics.
+func recoverRecSeq(store Store) int64 {
+	var max int64
+	for _, r := range store.Records(nil) {
+		i := strings.LastIndex(r.ID, "-")
+		if i < 0 {
+			continue
+		}
+		if n, err := strconv.ParseInt(r.ID[i+1:], 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // Telemetry exposes the hub.
@@ -297,7 +317,15 @@ func (cp *ControlPlane) fileCreateRecommendation(m *managed, c core.Candidate, n
 		if r.Database != m.db.Name() || r.Action != core.ActionCreateIndex {
 			return false
 		}
-		if r.Index.Signature() != sig && !strings.EqualFold(r.Index.Name, c.Def.Name) {
+		sameShape := r.Index.Signature() == sig || strings.EqualFold(r.Index.Name, c.Def.Name)
+		// A live record with the same key columns also blocks: were both
+		// implemented in the same step, the fleet would end up with two
+		// key-identical auto-indexes (the expiry service's same-key
+		// invalidation only sees Active records, not ones already racing
+		// through Implementing/Retry).
+		sameKeyLive := !r.State.Terminal() &&
+			strings.EqualFold(r.Index.Table, c.Def.Table) && r.Index.SameKey(c.Def)
+		if !sameShape && !sameKeyLive {
 			return false
 		}
 		// Live records block duplicates; so do successes (the index exists)

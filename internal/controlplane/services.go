@@ -7,9 +7,21 @@ import (
 
 	"autoindex/internal/core"
 	"autoindex/internal/engine"
+	"autoindex/internal/schema"
 	"autoindex/internal/telemetry"
 	"autoindex/internal/validate"
 )
+
+// sameKeyIndexExists reports whether the database already has a real
+// index with def's exact key columns on def's table.
+func sameKeyIndexExists(db *engine.Database, def schema.IndexDef) bool {
+	for _, e := range db.IndexDefs() {
+		if !e.Hypothetical && strings.EqualFold(e.Table, def.Table) && e.SameKey(def) {
+			return true
+		}
+	}
+	return false
+}
 
 // nextAttemptDue reports whether a Retry record's backoff has elapsed.
 func (cp *ControlPlane) nextAttemptDue(r *Record, now time.Time) bool {
@@ -92,7 +104,11 @@ func (cp *ControlPlane) serverSettings(server string) ServerSettings {
 }
 
 // executeImplement performs the index change for a record in
-// Implementing, classifying failures into Retry or terminal Error.
+// Implementing, classifying failures into Retry or terminal Error. Both
+// actions are idempotent so a control plane that crashed after executing
+// but before persisting the transition converges on restart instead of
+// erroring: a create adopts an identical index a lost attempt already
+// built, a drop treats an already-absent index as goal met.
 func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
 	now := cp.clock.Now()
 	var err error
@@ -102,9 +118,23 @@ func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
 		def.AutoCreated = true
 		def.Name = cp.applyNamingScheme(def.Name)
 		r.Index = def.Clone()
-		err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
+		if existing, ok := m.db.IndexDef(def.Name); ok && existing.AutoCreated &&
+			existing.Signature() == def.Signature() {
+			// Crash consistency: a previous attempt built this exact index
+			// but died before recording it. Adopt the build. A same-name
+			// index with a different shape still fails below with the
+			// well-known ErrIndexExists.
+			err = nil
+		} else {
+			err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
+		}
 	case core.ActionDropIndex:
 		err = m.db.DropIndex(r.Index.Name, engine.DropIndexOptions{LowPriority: true})
+		if errors.Is(err, engine.ErrIndexNotFound) {
+			// Already absent — dropped by an attempt whose transition was
+			// lost, or externally. Either way the goal state holds.
+			err = nil
+		}
 	}
 	now = cp.clock.Now() // index builds advance virtual time
 	if err != nil {
@@ -125,24 +155,55 @@ func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
 	cp.hub.Emit(telemetry.Event{At: now, Database: r.Database, Kind: "implemented", Detail: r.Action.String() + " " + r.Index.Name})
 }
 
-// handleImplementError applies the paper's error taxonomy: well-known
-// terminal conditions (index already exists, table/column dropped, index
-// dropped externally) become Error without an incident; transient errors
-// (lock timeout, log full) retry with backoff; exhausted retries raise an
-// incident.
-func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecState, now time.Time) {
-	r.LastError = err.Error()
+// errorClass buckets an implementation error per the paper's taxonomy (§4).
+type errorClass int
+
+const (
+	// errClassWellKnown conditions (index already exists, table/column
+	// dropped, index dropped externally) are terminal without an incident.
+	errClassWellKnown errorClass = iota
+	// errClassTransient errors (lock timeout, log full, aborted online
+	// build) retry with backoff.
+	errClassTransient
+	// errClassUnrecognized errors are terminal and raise an incident.
+	errClassUnrecognized
+)
+
+// classifyImplementError buckets err using errors.Is so engine errors stay
+// correctly classified through any number of %w wrapping layers — the
+// engine annotates every failure with context ("create index ix: ... :
+// ErrLogFull") and callers may wrap again; sentinel equality would read
+// all of those as unrecognized and terminally error out records that a
+// retry would have recovered.
+func classifyImplementError(err error) errorClass {
 	switch {
 	case errors.Is(err, engine.ErrIndexExists),
 		errors.Is(err, engine.ErrIndexNotFound),
 		errors.Is(err, engine.ErrTableNotFound):
-		// Well-known terminal errors (§4): auto-processed, no incident.
+		return errClassWellKnown
+	case errors.Is(err, engine.ErrLockTimeout),
+		errors.Is(err, engine.ErrLogFull),
+		errors.Is(err, engine.ErrBuildAborted):
+		return errClassTransient
+	default:
+		return errClassUnrecognized
+	}
+}
+
+// handleImplementError applies the paper's error taxonomy: well-known
+// terminal conditions become Error without an incident; transient errors
+// retry with backoff; exhausted retries and unrecognized errors raise an
+// incident.
+func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecState, now time.Time) {
+	r.LastError = err.Error()
+	switch classifyImplementError(err) {
+	case errClassWellKnown:
 		r.SubState = "well-known-error"
 		_ = r.Transition(StateError, now)
 		cp.store.SaveRecord(r)
 		cp.hub.Inc("errors.terminal", 1)
 		return
-	case errors.Is(err, engine.ErrLockTimeout), errors.Is(err, engine.ErrLogFull):
+	case errClassTransient:
 		r.Attempts++
 		if r.Attempts <= cp.cfg.MaxRetries {
 			r.RetryTarget = failedAt
@@ -152,14 +213,12 @@ func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecS
 			cp.hub.Inc("errors.transient", 1)
 			return
 		}
-		fallthrough
-	default:
-		r.SubState = "unrecognized-error"
-		_ = r.Transition(StateError, now)
-		cp.store.SaveRecord(r)
-		cp.hub.Inc("errors.incident", 1)
-		cp.incident(r.Database, r.ID, "implementation-failure", err.Error())
 	}
+	r.SubState = "unrecognized-error"
+	_ = r.Transition(StateError, now)
+	cp.store.SaveRecord(r)
+	cp.hub.Inc("errors.incident", 1)
+	cp.incident(r.Database, r.ID, "implementation-failure", err.Error())
 }
 
 // validationService validates records whose post-implementation window has
@@ -244,9 +303,16 @@ func (cp *ControlPlane) revertService() {
 			}
 		case core.ActionDropIndex:
 			def := r.Index.Clone()
-			err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
-			if errors.Is(err, engine.ErrIndexExists) {
+			if sameKeyIndexExists(m.db, def) {
+				// A key-equivalent index is already back (a lost attempt's
+				// build, or a fresh create that landed mid-revert): the
+				// revert goal — the workload has its index again — holds.
 				err = nil
+			} else {
+				err = m.db.CreateIndex(def, engine.IndexBuildOptions{Online: true, Resumable: true})
+				if errors.Is(err, engine.ErrIndexExists) {
+					err = nil
+				}
 			}
 		}
 		now = cp.clock.Now()

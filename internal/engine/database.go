@@ -16,6 +16,7 @@ import (
 
 	"autoindex/internal/btree"
 	"autoindex/internal/dmv"
+	"autoindex/internal/faults"
 	"autoindex/internal/optimizer"
 	"autoindex/internal/querystore"
 	"autoindex/internal/schema"
@@ -132,6 +133,10 @@ type Database struct {
 	bulkSources map[string]BulkSource
 	modules     *moduleCatalog
 
+	// injector, when set, fires the engine's chaos fault points (index
+	// builds and drops); nil in production paths.
+	injector *faults.Injector
+
 	failovers     int64
 	schemaChanges int64
 	convoyBlocked int64
@@ -201,6 +206,22 @@ func (d *Database) RegisterBulkSource(name string, src BulkSource) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.bulkSources[strings.ToLower(name)] = src
+}
+
+// SetFaultInjector attaches a chaos fault injector to this database's DDL
+// paths (see internal/faults). Pass nil to disable. Safe to call
+// concurrently with running statements.
+func (d *Database) SetFaultInjector(in *faults.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.injector = in
+}
+
+// faultInjector reads the attached injector (nil when chaos is off).
+func (d *Database) faultInjector() *faults.Injector {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.injector
 }
 
 // Failover simulates a server failover: the missing-index DMVs reset

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"autoindex/internal/btree"
+	"autoindex/internal/faults"
 	"autoindex/internal/schema"
 	"autoindex/internal/storage"
 	"autoindex/internal/value"
@@ -22,6 +23,10 @@ var (
 	ErrTableNotFound = errors.New("engine: table does not exist")
 	ErrColumnInUse   = errors.New("engine: column is referenced by a user index")
 	ErrLogFull       = errors.New("engine: transaction log full during index build")
+	// ErrBuildAborted is an online index build interrupted mid-flight
+	// (failover, DTA abort signal, injected chaos); like ErrLogFull and
+	// ErrLockTimeout it is transient and retried with backoff.
+	ErrBuildAborted = errors.New("engine: online index build aborted")
 )
 
 // CreateTable creates an empty table. Tables with a primary key are
@@ -76,6 +81,7 @@ func (d *Database) CreateIndex(def schema.IndexDef, opts IndexBuildOptions) erro
 
 // CreateIndexWithReport is CreateIndex returning build telemetry.
 func (d *Database) CreateIndexWithReport(def schema.IndexDef, opts IndexBuildOptions) (IndexBuildReport, error) {
+	injector := d.faultInjector() // read before taking d.mu (not reentrant)
 	d.mu.Lock()
 	t, ok := d.tables[strings.ToLower(def.Table)]
 	if !ok {
@@ -93,6 +99,30 @@ func (d *Database) CreateIndexWithReport(def schema.IndexDef, opts IndexBuildOpt
 	if def.Kind == schema.Clustered {
 		d.mu.Unlock()
 		return IndexBuildReport{}, fmt.Errorf("engine: only non-clustered indexes can be created online")
+	}
+	if in := injector; in != nil {
+		// Chaos fault points fire after the well-known validation errors so
+		// an injected failure always means "the build itself failed", never
+		// masks a terminal condition. Errors are wrapped exactly as real
+		// call sites wrap them, so the control plane's errors.Is
+		// classification is what gets exercised.
+		switch {
+		case in.Should(faults.IndexBuildLockTimeout):
+			d.mu.Unlock()
+			d.clock.Sleep(5 * time.Second) // burned the lock-wait budget
+			return IndexBuildReport{}, fmt.Errorf("create index %s: %w", def.Name, ErrLockTimeout)
+		case in.Should(faults.IndexBuildLogFull):
+			d.mu.Unlock()
+			// The failed build consumed time and log before hitting the wall.
+			sz := def.EstimatedSizeBytes(t.def, t.rowCount)
+			d.clock.Sleep(d.buildDuration(sz) / 2)
+			return IndexBuildReport{LogBytes: sz / 2}, fmt.Errorf("create index %s: log growth race: %w", def.Name, ErrLogFull)
+		case in.Should(faults.IndexBuildAbort):
+			d.mu.Unlock()
+			sz := def.EstimatedSizeBytes(t.def, t.rowCount)
+			d.clock.Sleep(d.buildDuration(sz) / 4)
+			return IndexBuildReport{}, fmt.Errorf("create index %s: %w", def.Name, ErrBuildAborted)
+		}
 	}
 
 	sizeBytes := def.EstimatedSizeBytes(t.def, t.rowCount)
@@ -179,6 +209,12 @@ func (d *Database) DropIndex(name string, opts DropIndexOptions) error {
 	timeout := opts.LockTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
+	}
+	if in := d.faultInjector(); in != nil && in.Should(faults.DropLockTimeout) {
+		// An injected convoy: the low-priority request burns its wait
+		// budget behind shared holders that never clear in time.
+		d.clock.Sleep(timeout)
+		return fmt.Errorf("drop index %s: %w", name, ErrLockTimeout)
 	}
 	release, _, err := d.locks.AcquireExclusive(ix.def.Table, opts.LowPriority, timeout)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"autoindex/internal/faults"
 	"autoindex/internal/schema"
 	"autoindex/internal/sim"
 	"autoindex/internal/value"
@@ -154,6 +155,88 @@ func TestDifferentialRandomTemplates(t *testing.T) {
 		if strings.Join(w, "\n") != strings.Join(g, "\n") {
 			t.Fatalf("trial %d diverged for %q: %d vs %d rows\nplan:\n%s",
 				trial, sql, len(w), len(g), got.Plan.Explain())
+		}
+	}
+}
+
+// TestDifferentialFaultsNeverChangeResults extends the differential
+// invariant to chaos mode: injected DDL faults (log-full, lock timeouts,
+// aborted online builds) may cost time and failed attempts, but whatever
+// subset of indexes survives the faulty build schedule, query results
+// must be identical to the index-free baseline. Faults degrade
+// performance, never correctness.
+func TestDifferentialFaultsNeverChangeResults(t *testing.T) {
+	clock := sim.NewClock()
+	base := New(DefaultConfig("diffc", TierStandard, 808), clock)
+	mustExec(t, base, `CREATE TABLE facts (id BIGINT NOT NULL, a BIGINT, b BIGINT, f FLOAT, PRIMARY KEY (id))`)
+	rng := sim.NewRNG(41)
+	for i := 0; i < 1500; i++ {
+		mustExec(t, base, sprintf(
+			`INSERT INTO facts (id, a, b, f) VALUES (%d, %d, %d, %d.25)`,
+			i, rng.Intn(150), rng.Intn(40), rng.Intn(900)))
+	}
+	base.RebuildAllStats()
+
+	chaotic := base.Clone("diffc-chaos")
+	injector := faults.New(99, "engine/diffc-chaos", map[faults.Point]float64{
+		faults.IndexBuildLogFull:     0.4,
+		faults.IndexBuildLockTimeout: 0.4,
+		faults.IndexBuildAbort:       0.4,
+		faults.DropLockTimeout:       0.4,
+	})
+	chaotic.SetFaultInjector(injector)
+
+	// Build indexes under fault injection, retrying transient failures a
+	// few times; an index that never builds is acceptable — the invariant
+	// holds for whatever subset landed.
+	defs := []schema.IndexDef{
+		{Name: "ix_a", Table: "facts", KeyColumns: []string{"a"}},
+		{Name: "ix_ab", Table: "facts", KeyColumns: []string{"a", "b"}, IncludedColumns: []string{"f"}},
+		{Name: "ix_b", Table: "facts", KeyColumns: []string{"b"}},
+	}
+	built := 0
+	for _, def := range defs {
+		for attempt := 0; attempt < 6; attempt++ {
+			if err := chaotic.CreateIndex(def, IndexBuildOptions{Online: true, Resumable: true}); err == nil {
+				built++
+				break
+			}
+		}
+	}
+	// Drop one surviving index under injection too (retried the same way).
+	for attempt := 0; attempt < 6; attempt++ {
+		if err := chaotic.DropIndex("ix_b", DropIndexOptions{LowPriority: true}); err == nil {
+			break
+		}
+	}
+	if injector.TotalFired() == 0 {
+		t.Fatal("fault injector never fired; test is vacuous")
+	}
+
+	queries := []string{
+		`SELECT id FROM facts WHERE a = 17`,
+		`SELECT id, f FROM facts WHERE a = 17 AND b = 3`,
+		`SELECT id FROM facts WHERE a = 17 AND b > 10`,
+		`SELECT id FROM facts WHERE b BETWEEN 5 AND 9`,
+		`SELECT COUNT(*) FROM facts WHERE a = 17`,
+		`SELECT b, COUNT(*) FROM facts WHERE a < 30 GROUP BY b`,
+		`SELECT MIN(f), MAX(f) FROM facts WHERE a >= 140`,
+		`SELECT id FROM facts WHERE id > 1490`,
+	}
+	for _, sql := range queries {
+		want, err := base.Exec(sql)
+		if err != nil {
+			t.Fatalf("base %q: %v", sql, err)
+		}
+		got, err := chaotic.Exec(sql)
+		if err != nil {
+			t.Fatalf("chaotic %q: %v", sql, err)
+		}
+		w := canonicalize(want.Rows, false)
+		g := canonicalize(got.Rows, false)
+		if strings.Join(w, "\n") != strings.Join(g, "\n") {
+			t.Errorf("results diverge under faults for %q: base %d rows, chaotic %d rows (built %d indexes)\nplan:\n%s",
+				sql, len(w), len(g), built, got.Plan.Explain())
 		}
 	}
 }

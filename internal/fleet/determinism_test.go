@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -56,6 +57,53 @@ func TestOpsDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if rep1 == "" || rev1 == "" {
 		t.Fatal("empty report")
+	}
+}
+
+// chaosOpsReport runs a chaos-mode ops simulation at the given worker
+// count, returning all deterministic output (reports plus the chaos
+// summary) concatenated.
+func chaosOpsReport(t *testing.T, workers int) string {
+	t.Helper()
+	spec := Spec{Databases: 4, MixedTiers: true, Seed: 99, UserIndexes: true, Workers: workers}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOpsConfig()
+	cfg.Days = 3
+	cfg.StatementsPerHour = 12
+	cfg.AutoImplementFraction = 1.0
+	cfg.NewTenantEvery = 48 * time.Hour
+	cfg.Chaos = ChaosConfig{Enabled: true, FaultRate: 0.08, CrashRate: 0.05}
+	res, err := f.RunOps(Spec{Seed: spec.Seed, UserIndexes: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos == nil {
+		t.Fatal("chaos enabled but no chaos report")
+	}
+	if len(res.Chaos.Violations) != 0 {
+		t.Errorf("invariant violations under chaos:\n%s", res.Chaos.Format())
+	}
+	return res.Report() + res.RevertReport() + res.Chaos.Format()
+}
+
+// TestChaosOpsDeterministicAcrossWorkers extends the determinism
+// guarantee to chaos mode: the injected fault schedule — and therefore
+// every downstream effect — is a function of the seed alone, not of how
+// tenants were sharded across workers.
+func TestChaosOpsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation is slow")
+	}
+	rep1 := chaosOpsReport(t, 1)
+	rep8 := chaosOpsReport(t, 8)
+	if rep1 != rep8 {
+		t.Errorf("chaos report differs between -workers 1 and -workers 8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", rep1, rep8)
+	}
+	if !strings.Contains(rep1, "invariants: OK") {
+		t.Errorf("expected clean invariants in:\n%s", rep1)
 	}
 }
 

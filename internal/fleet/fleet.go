@@ -23,6 +23,7 @@ import (
 	"autoindex/internal/experiment"
 	"autoindex/internal/querystore"
 	"autoindex/internal/sim"
+	"autoindex/internal/telemetry"
 	"autoindex/internal/workload"
 )
 
@@ -169,6 +170,9 @@ type OpsConfig struct {
 	// exercising the MI snapshot reset tolerance.
 	FailoverProb float64
 	Plane        controlplane.Config
+	// Chaos, when enabled, injects seeded faults into every layer and
+	// audits invariants after a post-run drain.
+	Chaos ChaosConfig
 }
 
 // DefaultOpsConfig returns a simulation-scale configuration.
@@ -195,6 +199,8 @@ type OpsResult struct {
 	// at the end.
 	SteadyStateDatabases int
 	Plane                *controlplane.ControlPlane
+	// Chaos is the fault-injection report; nil unless chaos was enabled.
+	Chaos *ChaosReport
 }
 
 // RunOps runs the long-horizon operational simulation. Each virtual hour,
@@ -203,11 +209,46 @@ type OpsResult struct {
 // do fleet-growth and measurement bookkeeping, so the outcome is
 // bit-identical at any worker count.
 func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
-	cp := controlplane.New(cfg.Plane, f.Clock, controlplane.NewMemStore(), nil)
+	return f.runOps(spec, cfg, controlplane.NewMemStore())
+}
+
+// runOps is RunOps over an explicit backing store (tests inject a
+// persisting or crash-prone store through here).
+func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsResult, error) {
+	store := mem
+	var hub *telemetry.Hub
+	var ch *chaosHarness
+	if cfg.Chaos.Enabled {
+		ch = newChaosHarness(cfg.Chaos, spec.Seed, mem)
+		store, hub = ch.wrapped, ch.hub
+	}
+	cp := controlplane.New(cfg.Plane, f.Clock, store, hub)
+	// manage enrolls a tenant with the current plane incarnation; plane
+	// and step indirect through the crash runner when chaos is on, so a
+	// recovered restart swaps in the rebuilt control plane transparently.
+	manage := func(tn *workload.Tenant, s controlplane.Settings) {
+		if ch != nil {
+			ch.enroll(tn, s)
+			ch.runner.Plane.Manage(tn.DB, "server-0", s)
+			return
+		}
+		cp.Manage(tn.DB, "server-0", s)
+	}
+	plane := func() *controlplane.ControlPlane {
+		if ch != nil {
+			return ch.runner.Plane
+		}
+		return cp
+	}
+	step := cp.Step
+	if ch != nil {
+		ch.attach(cp, cfg.Plane, f.Clock)
+		step = ch.runner.Step
+	}
 	autoRNG := f.RNG.Child("ops/auto")
 	for _, tn := range f.Tenants {
 		auto := autoRNG.Float64() < cfg.AutoImplementFraction
-		cp.Manage(tn.DB, "server-0", controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
+		manage(tn, controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
 	}
 	// First/last-window per-query costs for the >2x and >50% statistics.
 	startCosts := make(map[string]map[uint64]float64)
@@ -248,7 +289,7 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 		})
 		f.Clock.Advance(time.Hour)
 		f.alignClocks() // tenants catch up to the region hour tick
-		cp.Step()
+		step()
 		f.alignClocks() // region catches up to index-build time on tenants
 		if h == warmupHours {
 			for _, tn := range f.Tenants {
@@ -270,14 +311,29 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 			}, clock)
 			if err == nil {
 				auto := autoRNG.Float64() < cfg.AutoImplementFraction
-				cp.Manage(tn.DB, "server-0", controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
+				manage(tn, controlplane.Settings{AutoCreate: auto, AutoDrop: auto})
 				f.addTenant(tn, clock)
 				failStream(tn)
 			}
 		}
 	}
 
+	if ch != nil {
+		drained := ch.drain(f)
+		res := &OpsResult{Stats: plane().OpStats(), Plane: plane()}
+		res.Chaos = ch.report(f, cfg.Plane, drained)
+		finishOps(f, plane(), res, startCosts, startTotal)
+		return res, nil
+	}
 	res := &OpsResult{Stats: cp.OpStats(), Plane: cp}
+	finishOps(f, cp, res, startCosts, startTotal)
+	return res, nil
+}
+
+// finishOps computes the end-of-run §8.1 statistics from the last day's
+// query-store windows.
+func finishOps(f *Fleet, cp *controlplane.ControlPlane, res *OpsResult,
+	startCosts map[string]map[uint64]float64, startTotal map[string]float64) {
 	lastFrom := f.Clock.Now().Add(-24 * time.Hour)
 	for _, tn := range f.Tenants {
 		basePer, baseTotal := startCosts[tn.DB.Name()], startTotal[tn.DB.Name()]
@@ -297,7 +353,6 @@ func (f *Fleet) RunOps(spec Spec, cfg OpsConfig) (*OpsResult, error) {
 			res.SteadyStateDatabases++
 		}
 	}
-	return res, nil
 }
 
 // windowCosts returns per-query mean CPU and the workload mean CPU per

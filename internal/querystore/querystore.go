@@ -126,6 +126,10 @@ type Store struct {
 	clock    sim.Clock
 	interval time.Duration
 	queries  map[uint64]*QueryEntry
+	// dropper, when set, loses executions before aggregation (chaos
+	// mode's missing validation windows); dropped counts how many.
+	dropper func() bool
+	dropped int64
 }
 
 // DefaultInterval matches Query Store's common configuration.
@@ -139,10 +143,32 @@ func New(clock sim.Clock, interval time.Duration) *Store {
 	return &Store{clock: clock, interval: interval, queries: make(map[uint64]*QueryEntry)}
 }
 
+// SetDropper installs (or, with nil, removes) a hook that loses whole
+// executions before they are aggregated — how chaos mode produces the
+// thinned or missing validation windows the validator must see through
+// (§6: insufficient data yields an inconclusive verdict, never a wrong
+// one). The hook must be safe for concurrent use.
+func (s *Store) SetDropper(f func() bool) {
+	s.mu.Lock()
+	s.dropper = f
+	s.mu.Unlock()
+}
+
+// DroppedExecutions reports how many executions an installed dropper lost.
+func (s *Store) DroppedExecutions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dropped
+}
+
 // Record folds one execution into the store.
 func (s *Store) Record(queryHash uint64, text string, truncated, isWrite bool, plan PlanInfo, m Measurement) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dropper != nil && s.dropper() {
+		s.dropped++
+		return
+	}
 	q := s.queries[queryHash]
 	if q == nil {
 		q = &QueryEntry{QueryHash: queryHash, Text: text, Truncated: truncated, IsWrite: isWrite, Plans: make(map[uint64]*PlanEntry)}

@@ -1,6 +1,7 @@
 package dta
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"strings"
@@ -186,7 +187,7 @@ func candidatesForStatement(db *engine.Database, stmt sqlparser.Statement, opts 
 		cost, plan, err := session.Cost(stmt)
 		session.Catalog().RemoveHypothetical(def.Name)
 		if err != nil {
-			if err == engine.ErrWhatIfBudget {
+			if errors.Is(err, engine.ErrWhatIfBudget) {
 				break
 			}
 			continue

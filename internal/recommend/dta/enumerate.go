@@ -1,6 +1,7 @@
 package dta
 
 import (
+	"errors"
 	"strings"
 
 	"autoindex/internal/core"
@@ -21,7 +22,7 @@ func enumerate(db *engine.Database, session *engine.WhatIfSession,
 	for i, ts := range workload {
 		c, _, err := session.Cost(ts.stmt)
 		if err != nil {
-			if err == engine.ErrWhatIfBudget {
+			if errors.Is(err, engine.ErrWhatIfBudget) {
 				return nil, 0, 0, err
 			}
 			// Statement not costable in what-if mode; exclude from search.
@@ -67,7 +68,7 @@ func enumerate(db *engine.Database, session *engine.WhatIfSession,
 				}
 				c, _, err := session.Cost(ts.stmt)
 				if err != nil {
-					if err == engine.ErrWhatIfBudget {
+					if errors.Is(err, engine.ErrWhatIfBudget) {
 						budgetHit = true
 						break
 					}

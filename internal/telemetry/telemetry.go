@@ -42,6 +42,13 @@ type Hub struct {
 	evMu   sync.Mutex
 	events []Event
 	maxEv  int
+	// dropper, when set, is consulted per Emit; a true return loses the
+	// event (chaos mode's lossy telemetry pipeline). Dropped events are
+	// counted in the "telemetry.dropped" counter so loss stays observable
+	// — the paper's engineers debug through aggregates, and an aggregate
+	// that silently under-counts would be worse than one that says how
+	// much it lost.
+	dropper func(Event) bool
 }
 
 // NewHub returns an empty hub retaining up to maxEvents events.
@@ -112,13 +119,29 @@ func (h *Hub) counterMap() map[string]int64 {
 	return out
 }
 
-// Emit records an event (dropping the oldest past capacity).
+// SetDropper installs (or, with nil, removes) the lossy-pipeline hook
+// consulted by Emit. Install before emitters start; the hook itself must
+// be safe for concurrent use.
+func (h *Hub) SetDropper(f func(Event) bool) {
+	h.evMu.Lock()
+	h.dropper = f
+	h.evMu.Unlock()
+}
+
+// Emit records an event (dropping the oldest past capacity). Events lost
+// to an installed dropper increment "telemetry.dropped" instead.
 func (h *Hub) Emit(e Event) {
 	h.evMu.Lock()
-	defer h.evMu.Unlock()
-	h.events = append(h.events, e)
-	if len(h.events) > h.maxEv {
-		h.events = h.events[len(h.events)-h.maxEv:]
+	drop := h.dropper != nil && h.dropper(e)
+	if !drop {
+		h.events = append(h.events, e)
+		if len(h.events) > h.maxEv {
+			h.events = h.events[len(h.events)-h.maxEv:]
+		}
+	}
+	h.evMu.Unlock()
+	if drop {
+		h.Inc("telemetry.dropped", 1)
 	}
 }
 
