@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench cover clean
+.PHONY: all build test race vet lint check bench cover clean
 
 all: build test
 
@@ -13,6 +13,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Static analysis: go vet plus the repo's own determinism linter
+# (cmd/lint — maporder, wallclock, errcompare, lockdiscipline; see
+# ARCHITECTURE.md "Static analysis"). Part of tier-1 verify.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lint ./...
+
+# The full local gate: what CI runs on every change.
+check: build test lint
 
 # The concurrency-sensitive packages under the race detector: the
 # sharded fleet harness, the telemetry hub, the fault-injection layer,

@@ -88,10 +88,12 @@ type phaseTimer struct {
 }
 
 func startPhase(label string) *phaseTimer {
+	//lint:ignore wallclock phase timing is operator diagnostics on stderr; simulated state never reads it
 	return &phaseTimer{label: label, start: time.Now()}
 }
 
 func (p *phaseTimer) done() {
+	//lint:ignore wallclock phase timing is operator diagnostics on stderr; simulated state never reads it
 	fmt.Fprintf(os.Stderr, "fleetsim: phase %-8s %8.2fs\n", p.label, time.Since(p.start).Seconds())
 }
 

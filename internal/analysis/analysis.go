@@ -1,0 +1,177 @@
+// Package analysis is the repo's determinism-and-correctness linter: a
+// small, self-contained static-analysis framework plus four analyzers
+// that encode bug classes this codebase has actually shipped and then
+// had to hunt down by hand.
+//
+// The fleet simulation promises byte-identical output for a given seed
+// at any worker count. That promise has been broken twice:
+//
+//   - PR 2 ("parallel fleet simulation") fixed five separate
+//     map-iteration nondeterminism bugs across dta, mi, engine,
+//     workload, and experiment — each one a `for range` over a map
+//     whose body appended to a slice or accumulated float cost state
+//     in Go's randomized map order.
+//   - PR 3 ("deterministic fault injection") introduced wrapped errors
+//     and had to convert sentinel `==` comparisons to errors.Is when
+//     fault wrapping broke classification in dta.
+//
+// Both classes are mechanically detectable, so this package detects
+// them mechanically — the same move production systems make with
+// `go vet`-style analyzers — along with two neighbours: wall-clock and
+// global-RNG calls that bypass internal/sim (the root cause of
+// nondeterministic timestamps), and sloppy mutex discipline.
+//
+// The framework deliberately uses only the standard library
+// (go/parser, go/ast, go/types, go/importer); there is no dependency
+// on golang.org/x/tools. See cmd/lint for the command-line driver and
+// testdata/ for the annotated fixture corpus.
+//
+// # Suppression
+//
+// Any diagnostic can be suppressed at its site with a directive
+// comment on the same line or the line immediately above:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// cmd/lint -ignores prints the inventory of active suppressions so
+// reviews can audit every escape hatch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the canonical
+// "path:line:col: [check] message" form printed by cmd/lint.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// An Analyzer is one named check over a type-checked package unit.
+type Analyzer struct {
+	// Name is the check name used in diagnostics, //lint:ignore
+	// directives, and the cmd/lint -checks filter.
+	Name string
+	// Doc is a one-line description shown by cmd/lint -help.
+	Doc string
+	// SkipTests excludes _test.go files from this check. The wallclock
+	// analyzer sets it: tests legitimately sleep to coordinate real
+	// goroutines, and test wall-time never feeds simulation output.
+	SkipTests bool
+	// Run inspects the unit and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the unit's syntax trees. When the analyzer sets
+	// SkipTests, _test.go files are already filtered out.
+	Files []*ast.File
+	// PkgPath is the unit's import path (the wallclock analyzer keys
+	// its internal/sim exemption off it).
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrderAnalyzer,
+		WallClockAnalyzer,
+		ErrCompareAnalyzer,
+		LockDisciplineAnalyzer,
+	}
+}
+
+// ByName resolves a check name to its analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to every unit, filters the results through
+// //lint:ignore directives, and returns the surviving diagnostics in
+// (file, line, col, check) order. Malformed directives are reported as
+// diagnostics of the pseudo-check "directive", which cannot be
+// suppressed.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		ignores, bad := collectIgnores(u.Fset, u.Files)
+		diags = append(diags, bad...)
+
+		var unitDiags []Diagnostic
+		for _, a := range analyzers {
+			files := u.Files
+			if a.SkipTests {
+				files = nil
+				for _, f := range u.Files {
+					if !u.TestFiles[f] {
+						files = append(files, f)
+					}
+				}
+			}
+			if len(files) == 0 {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    files,
+				PkgPath:  u.Path,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				diags:    &unitDiags,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, filterIgnored(unitDiags, ignores)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

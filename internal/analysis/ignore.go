@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Ignore is one parsed //lint:ignore directive.
+type Ignore struct {
+	Pos    token.Position
+	Checks []string // check names, or "all"
+	Reason string
+}
+
+// ignorePrefix is the directive marker. Directives must be line
+// comments; the reason after the check list is mandatory.
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in files. A
+// directive with a missing check list or reason is returned as a
+// "directive" diagnostic instead, so typos fail the lint run rather
+// than silently suppressing nothing.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]Ignore, []Diagnostic) {
+	var igs []Ignore
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Check:   "directive",
+						Message: "malformed //lint:ignore: need a check name and a reason",
+					})
+					continue
+				}
+				igs = append(igs, Ignore{
+					Pos:    fset.Position(c.Pos()),
+					Checks: strings.Split(fields[0], ","),
+					Reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return igs, bad
+}
+
+// covers reports whether the directive suppresses check at (file, line).
+// A directive applies to its own line (trailing comment) and to the
+// line directly below it (standalone comment above the flagged code).
+func (ig Ignore) covers(check, file string, line int) bool {
+	if ig.Pos.Filename != file || (ig.Pos.Line != line && ig.Pos.Line != line-1) {
+		return false
+	}
+	for _, c := range ig.Checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// filterIgnored drops diagnostics covered by a directive. "directive"
+// diagnostics are never produced here, so nothing special-cases them.
+func filterIgnored(diags []Diagnostic, igs []Ignore) []Diagnostic {
+	if len(igs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range igs {
+			if ig.covers(d.Check, d.Pos.Filename, d.Pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Inventory returns every well-formed //lint:ignore directive in the
+// units, in (file, line) order, for cmd/lint -ignores.
+func Inventory(units []*Unit) []Ignore {
+	var all []Ignore
+	seen := make(map[string]bool)
+	for _, u := range units {
+		igs, _ := collectIgnores(u.Fset, u.Files)
+		for _, ig := range igs {
+			key := ig.Pos.String()
+			if seen[key] {
+				continue // canonical files appear in test units too
+			}
+			seen[key] = true
+			all = append(all, ig)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		return all[i].Pos.Line < all[j].Pos.Line
+	})
+	return all
+}

@@ -1,0 +1,63 @@
+// Errcompare fixtures: identity and string comparison of errors.
+package fixture
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+var errAborted = errors.New("aborted")
+
+// classifyBug is the minimized PR-3 bug: when fault injection started
+// wrapping engine sentinels with %w, identity comparison silently
+// stopped matching and misclassified aborts.
+func classifyBug(err error) bool {
+	return err == errAborted // want "errcompare: error compared with == against sentinel errAborted"
+}
+
+func classifyNeq(err error) bool {
+	if err != errAborted { // want "errcompare: error compared with != against sentinel errAborted"
+		return false
+	}
+	return true
+}
+
+// classifyIs is the fix: no diagnostic.
+func classifyIs(err error) bool {
+	return errors.Is(err, errAborted)
+}
+
+// nilCheck is idiomatic: no diagnostic.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func stdlibSentinel(err error) bool {
+	return err == io.EOF // want "errcompare: error compared with == against sentinel io.EOF"
+}
+
+func errorTextEquality(err error) bool {
+	return err.Error() == "aborted" // want "errcompare: err.Error.. compares error text"
+}
+
+func errorTextContains(err error) bool {
+	return strings.Contains(err.Error(), "abort") // want "errcompare: strings.Contains over err.Error.. matches error text"
+}
+
+func switchIdentity(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case errAborted: // want "errcompare: switch on error compares sentinel errAborted by identity"
+		return "aborted"
+	}
+	return "other"
+}
+
+// localCompare has no sentinel on either side: no diagnostic. (Two
+// in-flight errors compared for identity is rare but meaningful —
+// e.g. "is this the same retry cause as last round".)
+func localCompare(a, b error) bool {
+	return a == b
+}

@@ -1,0 +1,39 @@
+// Suppression fixtures: //lint:ignore directives flow through the same
+// pipeline the driver and cmd/lint share, so these assert end-to-end
+// filtering.
+package fixture
+
+import "errors"
+
+var errSentinel = errors.New("sentinel")
+
+// suppressedAbove: a directive on the line above covers the finding.
+func suppressedAbove(err error) bool {
+	//lint:ignore errcompare fixture demonstrates standalone suppression
+	return err == errSentinel
+}
+
+// suppressedTrailing: a trailing directive covers its own line.
+func suppressedTrailing(err error) bool {
+	return err == errSentinel //lint:ignore errcompare trailing directives cover their own line
+}
+
+// suppressedAll: "all" suppresses every check on the site.
+func suppressedAll(err error) bool {
+	//lint:ignore all blanket suppression for fixture coverage
+	return err == errSentinel
+}
+
+// wrongCheck: a directive naming a different check does not suppress.
+func wrongCheck(err error) bool {
+	//lint:ignore wallclock directive names the wrong check
+	return err == errSentinel // want "errcompare: error compared with == against sentinel errSentinel"
+}
+
+// gapLine: a directive two lines up is out of range and does not
+// suppress.
+func gapLine(err error) bool {
+	//lint:ignore errcompare directives reach only one line down
+
+	return err == errSentinel // want "errcompare: error compared with == against sentinel errSentinel"
+}

@@ -1,0 +1,107 @@
+// Maporder fixtures. Each `want "..."` comment pins an expected
+// diagnostic (as a regexp over "check: message") to its line; lines
+// without a want must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// totalCostBug is the minimized PR-2 bug: per-tenant fleet cost totals
+// were folded in map iteration order, so the low bits of the float sum
+// differed between runs with different map layouts.
+func totalCostBug(costs map[string]float64) float64 {
+	total := 0.0
+	for _, c := range costs { // want "maporder: map iteration order leaks into float accumulation into total"
+		total += c
+	}
+	return total
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "maporder: map iteration order leaks into append to keys"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// keysSorted is the canonical fix: collect, then sort. No diagnostic.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// valsSortedBySlice shows sort.Slice also counts as sorting.
+func valsSortedBySlice(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func emitsOutput(m map[string]int) {
+	for k, v := range m { // want "maporder: map iteration order leaks into output via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// intAccumulation is commutative and exact: no diagnostic.
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perIterationState appends only to a loop-local slice, which is
+// reborn every iteration: no diagnostic.
+func perIterationState(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		scratch := make([]int, 0, len(vs))
+		for _, v := range vs {
+			scratch = append(scratch, v*2)
+		}
+		n += len(scratch)
+	}
+	return n
+}
+
+// perKeyAccumulation indexes the accumulator by the range key: each
+// iteration touches its own element, so order cannot leak.
+func perKeyAccumulation(results []map[string]float64) map[string]float64 {
+	sums := make(map[string]float64)
+	for _, r := range results {
+		for k, v := range r {
+			sums[k] += v
+		}
+	}
+	return sums
+}
+
+// sliceRange is not a map range: no diagnostic.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// rebindForm catches the x = x + e spelling of accumulation.
+func rebindForm(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "maporder: map iteration order leaks into float accumulation into sum"
+		sum = sum + v
+	}
+	return sum
+}

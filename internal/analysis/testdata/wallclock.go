@@ -1,0 +1,36 @@
+// Wallclock fixtures: wall-clock and global-RNG calls outside
+// internal/sim.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallTime() time.Time {
+	return time.Now() // want "wallclock: time.Now reads the wall clock"
+}
+
+func elapsedSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wallclock: time.Since reads the wall clock"
+}
+
+func realSleep() {
+	time.Sleep(time.Millisecond) // want "wallclock: time.Sleep reads the wall clock"
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "wallclock: global rand.Intn draws from the process-wide source"
+}
+
+// seededDraw constructs a local, seeded generator — deterministic and
+// allowed.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// pureTime constructs a fixed instant without reading the clock.
+func pureTime() time.Time {
+	return time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+}

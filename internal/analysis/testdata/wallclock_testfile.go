@@ -1,0 +1,12 @@
+// The fixture driver marks this file as a _test.go file, asserting
+// that the wallclock analyzer skips test sources: tests legitimately
+// sleep to coordinate real goroutines. No want comments here. (Like
+// wallclock_sim.go, a corpus-wide cmd/lint demo run sees it as a
+// non-test file and flags it.)
+package fixture
+
+import "time"
+
+func testCoordinationSleep() {
+	time.Sleep(time.Millisecond)
+}

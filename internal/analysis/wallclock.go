@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClockAnalyzer forbids reading the wall clock or the global
+// math/rand source outside internal/sim. Every component reads time
+// through sim.Clock and randomness through seeded sim.RNG streams;
+// that is the whole reason fleet runs are bit-identical for a given
+// seed. A stray time.Now or rand.Intn silently reintroduces
+// nondeterminism that only shows up as flaky fleet diffs much later.
+//
+// Constructing a local, seeded generator (rand.New(rand.NewSource(s)))
+// is deterministic and allowed; only the package-level functions that
+// draw from the process-global source are flagged. _test.go files are
+// exempt: tests legitimately sleep to coordinate real goroutines, and
+// test wall-time never feeds simulation output.
+var WallClockAnalyzer = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "wall-clock time or global math/rand outside internal/sim (use sim.Clock / sim.RNG)",
+	SkipTests: true,
+	Run:       runWallClock,
+}
+
+// simPkgSuffix exempts the simulation substrate itself, which is the
+// one place allowed to touch the real clock (sim.WallClock adapts it).
+const simPkgSuffix = "internal/sim"
+
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Sleep": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// seeded constructors on math/rand and math/rand/v2 that do not touch
+// the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) {
+	if pass.PkgPath == simPkgSuffix || strings.HasSuffix(pass.PkgPath, "/"+simPkgSuffix) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallTimeFuncs[name]:
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; use sim.Clock so runs stay seed-deterministic", name)
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(call.Pos(), "global rand.%s draws from the process-wide source; use a seeded sim.RNG stream", name)
+			}
+			return true
+		})
+	}
+}

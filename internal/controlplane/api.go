@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -9,6 +10,11 @@ import (
 // recommendations, inspect details, apply one manually, and view the
 // history of actions with their measured impact — what the Azure portal,
 // REST API and T-SQL API expose.
+
+// ErrNoRecommendation reports a details/apply call for a recommendation
+// ID the control plane has no record of. Callers classify with
+// errors.Is, never by matching the message.
+var ErrNoRecommendation = errors.New("controlplane: no recommendation")
 
 // ListRecommendations returns the Active recommendations for a database
 // (the Fig. 2 view).
@@ -31,7 +37,7 @@ func (cp *ControlPlane) History(db string) []*Record {
 func (cp *ControlPlane) Details(recID string) (string, error) {
 	r, ok := cp.store.GetRecord(recID)
 	if !ok {
-		return "", fmt.Errorf("controlplane: no recommendation %q", recID)
+		return "", fmt.Errorf("%w %q", ErrNoRecommendation, recID)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", r.Describe())
@@ -71,7 +77,7 @@ func (cp *ControlPlane) Details(recID string) (string, error) {
 func (cp *ControlPlane) Apply(recID string) error {
 	r, ok := cp.store.GetRecord(recID)
 	if !ok {
-		return fmt.Errorf("controlplane: no recommendation %q", recID)
+		return fmt.Errorf("%w %q", ErrNoRecommendation, recID)
 	}
 	if r.State != StateActive {
 		return fmt.Errorf("controlplane: recommendation %q is %s, not Active", recID, r.State)

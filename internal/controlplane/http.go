@@ -2,8 +2,8 @@ package controlplane
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
-	"strings"
 )
 
 // HTTPHandler exposes the §2 management surface over REST, mirroring what
@@ -65,7 +65,7 @@ func (cp *ControlPlane) HTTPHandler() http.Handler {
 		id := r.PathValue("id")
 		if err := cp.Apply(id); err != nil {
 			code := http.StatusConflict
-			if strings.Contains(err.Error(), "no recommendation") {
+			if errors.Is(err, ErrNoRecommendation) {
 				code = http.StatusNotFound
 			}
 			writeJSON(w, code, map[string]string{"error": err.Error()})

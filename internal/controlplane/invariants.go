@@ -187,7 +187,9 @@ func checkDatabase(store Store, name string, target InvariantTarget, cfg Config,
 			sigDefs[def.Signature()] = def
 		}
 	}
-	for sig := range required {
+	// Violations are part of chaos-run output, so emit them in sorted
+	// signature order, not map order.
+	for _, sig := range sortedSigs(required) {
 		if _, ok := actual[sig]; ok {
 			continue
 		}
@@ -196,8 +198,8 @@ func checkDatabase(store Store, name string, target InvariantTarget, cfg Config,
 		}
 		out = append(out, Violation{name, RuleMissing, fmt.Sprintf("expected index %s absent", sig)})
 	}
-	for sig, def := range actual {
-		if def.AutoCreated && !accounted[sig] {
+	for _, sig := range sortedSigs(actual) {
+		if def := actual[sig]; def.AutoCreated && !accounted[sig] {
 			out = append(out, Violation{name, RuleOrphan,
 				fmt.Sprintf("auto-created index %s (%s) not explained by baseline or any record", def.Name, sig)})
 		}
@@ -258,4 +260,15 @@ func signatureStillValid(db *engine.Database, sig string, defs []schema.IndexDef
 		return true
 	}
 	return true
+}
+
+// sortedSigs returns m's signature keys in sorted order, so that
+// violation reports do not depend on map iteration order.
+func sortedSigs[V any](m map[string]V) []string {
+	sigs := make([]string, 0, len(m))
+	for s := range m {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	return sigs
 }

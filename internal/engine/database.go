@@ -446,6 +446,7 @@ func (d *Database) RebuildAllStats() {
 	d.mu.RLock()
 	type tc struct{ table, col string }
 	var all []tc
+	//lint:ignore maporder per-column rebuilds are independent: stats RNG streams are name-keyed (sim.RNG.Child) and all rebuilds share one virtual timestamp
 	for _, t := range d.tables {
 		for _, c := range t.def.Columns {
 			all = append(all, tc{t.def.Name, c.Name})

@@ -251,8 +251,16 @@ func (d *Database) DropColumn(table, column string) error {
 			return fmt.Errorf("engine: cannot drop primary key column %q", column)
 		}
 	}
+	// Scan indexes in sorted key order so both the cascade drop order
+	// and which index an ErrColumnInUse names are deterministic.
+	ixKeys := make([]string, 0, len(d.indexes))
+	for k := range d.indexes {
+		ixKeys = append(ixKeys, k)
+	}
+	sort.Strings(ixKeys)
 	var toDrop []string
-	for _, ix := range d.indexes {
+	for _, k := range ixKeys {
+		ix := d.indexes[k]
 		if strings.EqualFold(ix.def.Table, table) && ix.def.HasColumn(column) {
 			if !ix.def.AutoCreated {
 				d.mu.Unlock()

@@ -151,6 +151,7 @@ func (lm *LockManager) AcquireExclusive(table string, lowPriority bool, timeout 
 			break
 		}
 		lm.mu.Unlock()
+		//lint:ignore wallclock real-time backoff while polling for another goroutine to advance the virtual clock; waited is measured in virtual time
 		time.Sleep(200 * time.Microsecond)
 	}
 	return func() {

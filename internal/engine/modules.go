@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"strings"
 	"sync"
 )
@@ -47,7 +48,7 @@ func (d *Database) ModuleText(queryHash uint64) (string, bool) {
 	return t, ok
 }
 
-// Modules lists registered module names.
+// Modules lists registered module names, sorted.
 func (d *Database) Modules() []string {
 	d.modules.mu.RLock()
 	defer d.modules.mu.RUnlock()
@@ -55,5 +56,6 @@ func (d *Database) Modules() []string {
 	for n := range d.modules.names {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

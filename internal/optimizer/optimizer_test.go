@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -259,7 +260,7 @@ func TestWhatIfBulkInsertUnsupported(t *testing.T) {
 	cat := buildCatalog()
 	o := &Optimizer{Cat: cat, WhatIfMode: true}
 	_, err := o.Plan(sqlparser.MustParse(`BULK INSERT orders FROM DATASOURCE x`))
-	if err != ErrWhatIfUnsupported {
+	if !errors.Is(err, ErrWhatIfUnsupported) {
 		t.Fatalf("want ErrWhatIfUnsupported, got %v", err)
 	}
 }

@@ -120,6 +120,23 @@ type QueryEntry struct {
 	Plans     map[uint64]*PlanEntry
 }
 
+// sortedPlans returns the query's plans in ascending plan-hash order.
+// Aggregations that fold float statistics across plans must use it:
+// float addition is not associative, so folding in map order would make
+// totals differ in their low bits from run to run.
+func (q *QueryEntry) sortedPlans() []*PlanEntry {
+	hashes := make([]uint64, 0, len(q.Plans))
+	for h := range q.Plans {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	out := make([]*PlanEntry, 0, len(hashes))
+	for _, h := range hashes {
+		out = append(out, q.Plans[h])
+	}
+	return out
+}
+
 // Store is the query store for one database.
 type Store struct {
 	mu       sync.RWMutex
@@ -248,7 +265,7 @@ func (s *Store) Costs(from time.Time) []QueryCost {
 	var out []QueryCost
 	for _, q := range s.queries {
 		c := QueryCost{QueryHash: q.QueryHash, Text: q.Text, Truncated: q.Truncated, IsWrite: q.IsWrite}
-		for _, p := range q.Plans {
+		for _, p := range q.sortedPlans() {
 			for _, iv := range p.window(from, to) {
 				c.Executions += iv.Count
 				c.TotalCPU += iv.CPU.Sum()
@@ -306,7 +323,7 @@ func (s *Store) QueryWindowSample(queryHash uint64, m Metric, from, to time.Time
 		return mathx.Sample{}, false
 	}
 	var acc mathx.Welford
-	for _, p := range q.Plans {
+	for _, p := range q.sortedPlans() {
 		for _, iv := range p.window(from, to) {
 			acc.Merge(iv.Welford(m))
 		}

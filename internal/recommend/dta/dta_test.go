@@ -1,6 +1,7 @@
 package dta
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -146,7 +147,7 @@ func TestAbortCheckKillsSession(t *testing.T) {
 		return calls > 2
 	}
 	res, err := Run(db, opts)
-	if err != ErrAborted {
+	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("want ErrAborted, got %v", err)
 	}
 	if !res.Aborted {
