@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench cover clean
+.PHONY: all build test race vet lint check bench bench-gate ci cover clean
 
 all: build test
 
@@ -15,8 +15,9 @@ test:
 	$(GO) test ./...
 
 # Static analysis: go vet plus the repo's own determinism linter
-# (cmd/lint — maporder, wallclock, errcompare, lockdiscipline; see
-# ARCHITECTURE.md "Static analysis"). Part of tier-1 verify.
+# (cmd/lint — maporder, wallclock, errcompare, lockdiscipline,
+# metricsdiscipline; see ARCHITECTURE.md "Static analysis"). Part of
+# tier-1 verify.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lint ./...
@@ -30,8 +31,10 @@ check: build test lint
 # including the chaos property/determinism tests those packages carry.
 # The engine's differential suite (fault-injected DDL vs. concurrent
 # build paths) runs under race too. Part of tier-1 verify.
+# The metrics registry and the tracer join the list: their whole point
+# is lock-free (atomic) updates from many workers at once.
 race:
-	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane ./internal/faults
+	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane ./internal/faults ./internal/metrics ./internal/trace
 	$(GO) test -race -count=1 -run 'Differential' ./internal/engine
 
 vet:
@@ -54,5 +57,23 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
+# CI bench regression gate: stash the committed BENCH_fleet.json,
+# rerun the fleet benchmark (which rewrites the file in place), and
+# fail if the fastest worker count got more than 25% slower
+# (cmd/benchdiff -threshold default; minima are compared so one noisy
+# worker-count sample can't flake the gate). The committed baseline is
+# restored afterwards either way, so the working tree stays clean. See
+# EXPERIMENTS.md "Benchmark ratchet" for how the baseline moves.
+bench-gate:
+	@cp BENCH_fleet.json .bench_baseline.json
+	$(GO) test -bench=BenchmarkFleetParallel -benchtime=1x -run '^$$' ./internal/fleet
+	@$(GO) run ./cmd/benchdiff .bench_baseline.json BENCH_fleet.json; \
+		status=$$?; mv .bench_baseline.json BENCH_fleet.json; exit $$status
+
+# The single CI entry point: everything the workflow runs, runnable
+# locally with one command.
+ci: check race cover bench-gate
+
 clean:
 	$(GO) clean ./...
+	rm -f cover.out metrics.json .bench_baseline.json

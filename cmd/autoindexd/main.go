@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -91,8 +92,25 @@ func main() {
 	}
 
 	if *listen != "" {
-		fmt.Printf("\nserving management API on %s (GET /databases, /opstats, ...)\n", *listen)
-		if err := http.ListenAndServe(*listen, res.Plane.HTTPHandler()); err != nil {
+		// The management API plus the observability surface: /metrics is
+		// the full text exposition (volatile metrics included) of the
+		// run's registry; /debug/pprof/* is the stock net/http/pprof
+		// handler set for profiling the daemon itself.
+		mux := http.NewServeMux()
+		mux.Handle("/", res.Plane.HTTPHandler())
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := fl.Metrics.WriteText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("\nserving management API on %s (GET /databases, /opstats, /metrics, /debug/pprof/, ...)\n", *listen)
+		if err := http.ListenAndServe(*listen, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "autoindexd:", err)
 			os.Exit(1)
 		}

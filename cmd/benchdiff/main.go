@@ -1,0 +1,123 @@
+// Command benchdiff compares two BENCH_fleet.json files (see
+// internal/fleet/bench_test.go, which rewrites the file on every
+// `make bench`) and fails when the new run regressed past a wall-clock
+// threshold. It is the teeth of the CI bench gate:
+//
+//	benchdiff -threshold 1.25 BENCH_fleet.json.baseline BENCH_fleet.json
+//
+// The gate verdict compares the fastest worker count in each file:
+// min(new sec_per_op) / min(old sec_per_op) must stay at or under
+// -threshold (default 1.25, a 25% regression budget). Minimum-of-runs
+// is the standard noise reducer for one-shot benchmarks — each file
+// samples the same workload at several worker counts, and pairwise
+// per-worker ratios would multiply the chance of a spurious failure
+// on a noisy CI machine. Per-worker rows are still printed for
+// inspection. The exit status is 1 on a regression past the
+// threshold, 2 on usage or parse errors, 0 otherwise. Improvements
+// are reported but never fail the gate; ratcheting the committed
+// baseline down is a deliberate, human act (see EXPERIMENTS.md
+// "Benchmark ratchet").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Benchmark string `json:"benchmark"`
+	Timings   []struct {
+		Workers  int     `json:"workers"`
+		SecPerOp float64 `json:"sec_per_op"`
+	} `json:"timings"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Timings) == 0 {
+		return nil, fmt.Errorf("%s: no timings", path)
+	}
+	for _, t := range b.Timings {
+		if t.SecPerOp <= 0 {
+			return nil, fmt.Errorf("%s: non-positive sec_per_op for workers=%d", path, t.Workers)
+		}
+	}
+	return &b, nil
+}
+
+func minSec(b *benchFile) float64 {
+	best := b.Timings[0].SecPerOp
+	for _, t := range b.Timings[1:] {
+		if t.SecPerOp < best {
+			best = t.SecPerOp
+		}
+	}
+	return best
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 1.25, "max allowed new/old ratio of the fastest worker count's sec_per_op")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold R] old.json new.json")
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(stderr, "benchdiff: -threshold must be positive")
+		return 2
+	}
+	oldB, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newB, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	// Per-worker rows are informational: on a noisy host individual
+	// counts swing far more than the per-file minimum.
+	oldByWorkers := make(map[int]float64)
+	for _, t := range oldB.Timings {
+		oldByWorkers[t.Workers] = t.SecPerOp
+	}
+	for _, t := range newB.Timings {
+		oldSec, ok := oldByWorkers[t.Workers]
+		if !ok {
+			fmt.Fprintf(stdout, "workers=%-3d %10.3fs  (new worker count, no baseline)\n", t.Workers, t.SecPerOp)
+			continue
+		}
+		fmt.Fprintf(stdout, "workers=%-3d %10.3fs -> %10.3fs  ratio %.3f\n",
+			t.Workers, oldSec, t.SecPerOp, t.SecPerOp/oldSec)
+	}
+
+	oldMin, newMin := minSec(oldB), minSec(newB)
+	ratio := newMin / oldMin
+	fmt.Fprintf(stdout, "gate: fastest %.3fs -> %.3fs  ratio %.3f (limit %.2f)\n",
+		oldMin, newMin, ratio, *threshold)
+	if ratio > *threshold {
+		fmt.Fprintf(stdout, "FAIL: wall-clock regression beyond %.2fx against %s\n", *threshold, fs.Arg(0))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: fastest run within %.2fx of baseline\n", *threshold)
+	return 0
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (code int, out string) {
+	t.Helper()
+	stdout, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	code = run(args, stdout, stdout)
+	data, err := os.ReadFile(stdout.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// baseline: fastest worker count is workers=8 at 1.5s.
+const baseline = `{"benchmark":"BenchmarkFleetParallel","timings":[
+	{"workers":1,"sec_per_op":4.0},
+	{"workers":4,"sec_per_op":2.0},
+	{"workers":8,"sec_per_op":1.5}]}`
+
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", baseline)
+	// workers=4 swung 40% slower (one-shot noise) but the fastest
+	// count barely moved: the min-based gate must not flake on this.
+	newP := writeBench(t, dir, "new.json", `{"timings":[
+		{"workers":1,"sec_per_op":4.4},
+		{"workers":4,"sec_per_op":2.8},
+		{"workers":8,"sec_per_op":1.6}]}`)
+	code, out := runDiff(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: fastest run within 1.25x") {
+		t.Errorf("missing summary line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "gate: fastest 1.500s -> 1.600s") {
+		t.Errorf("gate line should compare the per-file minima:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", baseline)
+	// Every worker count 40% slower: a real step-change regression.
+	newP := writeBench(t, dir, "new.json", `{"timings":[
+		{"workers":1,"sec_per_op":5.6},
+		{"workers":4,"sec_per_op":2.8},
+		{"workers":8,"sec_per_op":2.1}]}`)
+	code, out := runDiff(t, oldP, newP)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: wall-clock regression beyond 1.25x") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", baseline)
+	// 10% slower everywhere: fails at -threshold 1.05, passes at 1.25.
+	newP := writeBench(t, dir, "new.json", `{"timings":[
+		{"workers":1,"sec_per_op":4.4},
+		{"workers":4,"sec_per_op":2.2},
+		{"workers":8,"sec_per_op":1.65}]}`)
+	if code, out := runDiff(t, "-threshold", "1.05", oldP, newP); code != 1 {
+		t.Errorf("tight threshold: exit %d, want 1; output:\n%s", code, out)
+	}
+	if code, out := runDiff(t, oldP, newP); code != 0 {
+		t.Errorf("default threshold: exit %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestChangedWorkerCounts(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", baseline)
+	// The benchmark grew a workers=16 configuration and dropped
+	// workers=4: the gate still compares fastest-vs-fastest, and the
+	// unmatched count is reported as informational.
+	newP := writeBench(t, dir, "new.json", `{"timings":[
+		{"workers":1,"sec_per_op":4.1},
+		{"workers":16,"sec_per_op":1.4}]}`)
+	code, out := runDiff(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no baseline") {
+		t.Errorf("missing informational line for the new worker count:\n%s", out)
+	}
+	if !strings.Contains(out, "gate: fastest 1.500s -> 1.400s") {
+		t.Errorf("gate line should compare minima across differing counts:\n%s", out)
+	}
+}
+
+func TestUsageAndParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", baseline)
+	if code, _ := runDiff(t, oldP); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code, _ := runDiff(t, oldP, filepath.Join(dir, "absent.json")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := writeBench(t, dir, "bad.json", `{"timings":[]}`)
+	if code, _ := runDiff(t, oldP, bad); code != 2 {
+		t.Errorf("empty timings: exit %d, want 2", code)
+	}
+	nonPos := writeBench(t, dir, "nonpos.json", `{"timings":[{"workers":1,"sec_per_op":0}]}`)
+	if code, _ := runDiff(t, oldP, nonPos); code != 2 {
+		t.Errorf("non-positive sec_per_op: exit %d, want 2", code)
+	}
+	if code, _ := runDiff(t, "-threshold", "-1", oldP, oldP); code != 2 {
+		t.Errorf("bad threshold: exit %d, want 2", code)
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 		chaosOn    = flag.Bool("chaos", false, "inject seeded faults (opstats/reverts only) and audit invariants")
 		faultRate  = flag.Float64("chaos-fault-rate", 0.05, "per-opportunity probability of engine/telemetry/querystore faults")
 		crashRate  = flag.Float64("chaos-crash-rate", 0.02, "per-save probability of each control-plane crash point")
+		metricsOut = flag.String("metrics-out", "", "write the run's deterministic metrics snapshot (JSON) to this file; byte-identical for a given seed at any -workers")
 	)
 	flag.Parse()
 
@@ -69,11 +70,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fleetsim: -chaos applies to opstats/reverts, not fig6")
 			os.Exit(2)
 		}
-		runFig6(*tierStr, *databases, *seed, *workers)
+		runFig6(*tierStr, *databases, *seed, *workers, *metricsOut)
 	case "opstats":
-		runOps(*databases, *days, *seed, *workers, false, chaos)
+		runOps(*databases, *days, *seed, *workers, false, chaos, *metricsOut)
 	case "reverts":
-		runOps(*databases, *days, *seed, *workers, true, chaos)
+		runOps(*databases, *days, *seed, *workers, true, chaos, *metricsOut)
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -97,7 +98,24 @@ func (p *phaseTimer) done() {
 	fmt.Fprintf(os.Stderr, "fleetsim: phase %-8s %8.2fs\n", p.label, time.Since(p.start).Seconds())
 }
 
-func runFig6(tierStr string, databases int, seed int64, workers int) {
+// writeMetrics writes the fleet's non-volatile metrics snapshot. The
+// bytes depend only on the seed and the experiment — never on -workers
+// or wall time — so the file can be diffed across runs like stdout.
+func writeMetrics(fl *fleet.Fleet, path string) {
+	if path == "" {
+		return
+	}
+	b, err := fl.Metrics.MarshalDeterministic()
+	if err == nil {
+		err = os.WriteFile(path, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: metrics-out:", err)
+		os.Exit(1)
+	}
+}
+
+func runFig6(tierStr string, databases int, seed int64, workers int, metricsOut string) {
 	var tier engine.Tier
 	switch strings.ToLower(tierStr) {
 	case "premium":
@@ -120,13 +138,14 @@ func runFig6(tierStr string, databases int, seed int64, workers int) {
 	run := startPhase("run")
 	sum := fl.RunFig6(tier.String(), experiment.DefaultFig6Config())
 	run.done()
+	writeMetrics(fl, metricsOut)
 	fmt.Println(sum.String())
 	fmt.Println("paper reference — premium: DTA 42% / MI 13% / User 15% / Comparable ~42%;")
 	fmt.Println("                  standard: DTA 27% / MI 6% / User 10% / Comparable ~45%;")
 	fmt.Println("                  avg improvement: DTA ~82%, MI ~72%, User ~35% (§7.3)")
 }
 
-func runOps(databases, days int, seed int64, workers int, revertFocus bool, chaos fleet.ChaosConfig) {
+func runOps(databases, days int, seed int64, workers int, revertFocus bool, chaos fleet.ChaosConfig, metricsOut string) {
 	fmt.Printf("§8.1 operational simulation: %d mixed-tier databases, %d virtual days (seed %d)\n\n",
 		databases, days, seed)
 	if chaos.Enabled {
@@ -154,6 +173,7 @@ func runOps(databases, days int, seed int64, workers int, revertFocus bool, chao
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+	writeMetrics(fl, metricsOut)
 	if revertFocus {
 		fmt.Print(res.RevertReport())
 	} else {

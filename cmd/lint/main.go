@@ -1,7 +1,7 @@
 // Command lint runs the repo's determinism-and-correctness analyzers
 // (internal/analysis) over the module: maporder, wallclock,
-// errcompare, and lockdiscipline. It is part of tier-1 verify via
-// `make lint`.
+// errcompare, lockdiscipline, and metricsdiscipline. It is part of
+// tier-1 verify via `make lint`.
 //
 // Usage:
 //

@@ -1,5 +1,5 @@
 // Package analysis is the repo's determinism-and-correctness linter: a
-// small, self-contained static-analysis framework plus four analyzers
+// small, self-contained static-analysis framework plus five analyzers
 // that encode bug classes this codebase has actually shipped and then
 // had to hunt down by hand.
 //
@@ -17,9 +17,11 @@
 //
 // Both classes are mechanically detectable, so this package detects
 // them mechanically — the same move production systems make with
-// `go vet`-style analyzers — along with two neighbours: wall-clock and
-// global-RNG calls that bypass internal/sim (the root cause of
-// nondeterministic timestamps), and sloppy mutex discipline.
+// `go vet`-style analyzers — along with three neighbours: wall-clock
+// and global-RNG calls that bypass internal/sim (the root cause of
+// nondeterministic timestamps), sloppy mutex discipline, and
+// observability-layer violations (runtime metric registration,
+// wall-clock-timed metrics and spans; see metricsdiscipline.go).
 //
 // The framework deliberately uses only the standard library
 // (go/parser, go/ast, go/types, go/importer); there is no dependency
@@ -109,6 +111,7 @@ func Analyzers() []*Analyzer {
 		WallClockAnalyzer,
 		ErrCompareAnalyzer,
 		LockDisciplineAnalyzer,
+		MetricsDisciplineAnalyzer,
 	}
 }
 

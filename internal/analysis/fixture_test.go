@@ -19,8 +19,9 @@ var fixtureOverrides = map[string]struct {
 	pkgPath string // type-check under this import path instead
 	asTest  bool   // mark the file as a _test.go source
 }{
-	"wallclock_sim.go":      {pkgPath: "autoindex/internal/sim"},
-	"wallclock_testfile.go": {asTest: true},
+	"wallclock_sim.go":            {pkgPath: "autoindex/internal/sim"},
+	"wallclock_testfile.go":       {asTest: true},
+	"metricsdiscipline_timing.go": {asTest: true},
 }
 
 // want pins one expected diagnostic (a regexp over "check: message")
@@ -243,6 +244,19 @@ func TestDiagnosticPositions(t *testing.T) {
 				"}\n",
 			pos:    "8:2",
 			substr: "Lock of mu without a matching Unlock",
+		},
+		{
+			name:     "metricsdiscipline reports the runtime registration",
+			analyzer: MetricsDisciplineAnalyzer,
+			src: "package p\n" +
+				"\n" +
+				"import \"autoindex/internal/metrics\"\n" +
+				"\n" +
+				"func f() *metrics.Desc {\n" +
+				"\treturn metrics.NewCounterDesc(\"p.x\", \"y\")\n" + // line 6, "metrics" at col 9
+				"}\n",
+			pos:    "6:9",
+			substr: "metrics.NewCounterDesc called at runtime",
 		},
 	}
 	for _, tc := range cases {

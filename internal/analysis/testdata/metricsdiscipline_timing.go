@@ -1,0 +1,29 @@
+// Metricsdiscipline timing fixtures, loaded as a _test.go file (see
+// fixtureOverrides): the wallclock analyzer skips test files because
+// tests legitimately sleep on the real clock to coordinate goroutines,
+// but feeding that clock into a metric is still a determinism bug —
+// metricsdiscipline runs everywhere and catches it here.
+package fixture
+
+import (
+	"time"
+
+	"autoindex/internal/metrics"
+)
+
+var descTimingMillis = metrics.NewHistogramDesc("fixture.timing_ms", "a timing histogram", 1, 10, 100)
+
+func timedWithWallClock(reg *metrics.Registry, start time.Time) {
+	reg.Histogram(descTimingMillis).ObserveDuration(time.Since(start)) // want "metricsdiscipline: ObserveDuration fed from time.Since"
+}
+
+func nowIntoObserve(reg *metrics.Registry) {
+	reg.Histogram(descTimingMillis).Observe(time.Now().UnixMilli()) // want "metricsdiscipline: Observe fed from time.Now"
+}
+
+// timedWithVirtualClock is the sanctioned form: the duration came from
+// subtracting two virtual-clock readings, so the observation is a pure
+// function of the seed.
+func timedWithVirtualClock(reg *metrics.Registry, start, end time.Time) {
+	reg.Histogram(descTimingMillis).ObserveDuration(end.Sub(start))
+}

@@ -84,6 +84,9 @@ func (r *CrashRunner) Step() {
 			return
 		}
 		r.Plane = r.Rebuild()
+		// The rebuilt incarnation shares the previous one's registry
+		// (via Config.Metrics), so recoveries accumulate across restarts.
+		r.Plane.reg.Counter(descCrashRecoveries).Inc()
 	}
 	panic("controlplane: CrashRunner exceeded restart budget in one step")
 }

@@ -1,0 +1,43 @@
+package controlplane
+
+import (
+	"time"
+
+	"autoindex/internal/metrics"
+)
+
+// Control-plane instrumentation (§4, §6): state-machine churn,
+// validation verdicts, revert pressure, crash-recovery cycles, and the
+// latency of a full micro-service step. Everything here is updated
+// from the serial Step path, so counts are identical at any fleet
+// worker count.
+var (
+	descTransitions = metrics.NewCounterDesc("controlplane.transitions",
+		"record state-machine transitions applied by the control plane")
+	descValidations = metrics.NewCounterDesc("controlplane.validations",
+		"validation verdicts rendered after the post-implementation window")
+	descValidationsImproved = metrics.NewCounterDesc("controlplane.validations_improved",
+		"validations concluding the change improved the workload")
+	descValidationsRegressed = metrics.NewCounterDesc("controlplane.validations_regressed",
+		"validations concluding the change regressed the workload")
+	descValidationsInconclusive = metrics.NewCounterDesc("controlplane.validations_inconclusive",
+		"validations with no statistically robust verdict")
+	descReverts = metrics.NewCounterDesc("controlplane.reverts",
+		"reverts triggered by validation")
+	descCrashRecoveries = metrics.NewCounterDesc("controlplane.crash_recoveries",
+		"injected crash-restart cycles recovered by rebuilding over the surviving store")
+	descStepMillis = metrics.NewHistogramDesc("controlplane.step_ms",
+		"full control-plane step latency in virtual milliseconds",
+		1, 10, 100, 1_000, 10_000, 60_000, 600_000)
+)
+
+// transition applies a record state-machine transition and counts it.
+// Control-plane call sites route through here (not r.Transition
+// directly) so controlplane.transitions reflects every applied edge.
+func (cp *ControlPlane) transition(r *Record, to RecState, now time.Time) error {
+	err := r.Transition(to, now)
+	if err == nil {
+		cp.reg.Counter(descTransitions).Inc()
+	}
+	return err
+}

@@ -15,8 +15,10 @@ import (
 	"autoindex/internal/mathx"
 	"autoindex/internal/recommend/dta"
 	"autoindex/internal/recommend/mi"
+	"autoindex/internal/metrics"
 	"autoindex/internal/sim"
 	"autoindex/internal/telemetry"
+	"autoindex/internal/trace"
 	"autoindex/internal/validate"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	// IndexNamePrefix, when set, prefixes every auto-created index name
 	// (§8.2: customers asked to control the naming scheme).
 	IndexNamePrefix string
+	// Metrics, when non-nil, receives the control plane's
+	// self-instrumentation (transition counters, validation verdicts,
+	// step latency) and backs the tuning-session tracer. Nil disables
+	// both without branching at call sites.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns production-like settings scaled for simulation.
@@ -97,10 +104,12 @@ type managed struct {
 // ControlPlane drives the auto-indexing lifecycle for a region's
 // databases.
 type ControlPlane struct {
-	cfg   Config
-	clock sim.Clock
-	store Store
-	hub   *telemetry.Hub
+	cfg    Config
+	clock  sim.Clock
+	store  Store
+	hub    *telemetry.Hub
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 
 	mu     sync.Mutex
 	dbs    map[string]*managed
@@ -114,7 +123,9 @@ type ControlPlane struct {
 // New creates a control plane.
 func New(cfg Config, clock sim.Clock, store Store, hub *telemetry.Hub) *ControlPlane {
 	if cfg.AnalyzeEvery == 0 {
+		reg := cfg.Metrics
 		cfg = DefaultConfig()
+		cfg.Metrics = reg
 	}
 	if hub == nil {
 		hub = telemetry.NewHub(0)
@@ -124,6 +135,8 @@ func New(cfg Config, clock sim.Clock, store Store, hub *telemetry.Hub) *ControlP
 		clock:      clock,
 		store:      store,
 		hub:        hub,
+		reg:        cfg.Metrics,
+		tracer:     trace.New(hub, clock, cfg.Metrics),
 		dbs:        make(map[string]*managed),
 		server:     make(map[string]ServerSettings),
 		recSeq:     recoverRecSeq(store),
@@ -208,6 +221,7 @@ func (cp *ControlPlane) sortedManaged() []*managed {
 // Step advances every micro-service by one round. Fleet simulations
 // interleave Step with workload replay; RunLoop drives it on wall time.
 func (cp *ControlPlane) Step() {
+	start := cp.clock.Now()
 	cp.snapshotService()
 	cp.analysisService()
 	cp.dropScanService()
@@ -216,6 +230,9 @@ func (cp *ControlPlane) Step() {
 	cp.revertService()
 	cp.expiryService()
 	cp.healthService()
+	// Index builds and what-if costing advance virtual time, so this is
+	// the tuning work one step imposed on the fleet's clock.
+	cp.reg.Histogram(descStepMillis).ObserveDuration(cp.clock.Now().Sub(start))
 }
 
 // RunLoop drives Step every interval until stop is closed (for the daemon
@@ -263,6 +280,11 @@ func (cp *ControlPlane) analysisService() {
 		}
 		ds.LastAnalysis = now
 		source := cp.cfg.Policy(m.db)
+		// One tuning-session span per analyzed database; the DTA / MI
+		// pass runs as a child span. Analysis is serial (inside Step),
+		// so span order in the hub is deterministic.
+		sp := cp.tracer.Start(m.db.Name(), "tuning-session")
+		sp.Annotate("source", source)
 		var cands []core.Candidate
 		switch source {
 		case core.SourceDTA:
@@ -276,8 +298,12 @@ func (cp *ControlPlane) analysisService() {
 			opts.AbortCheck = func() bool {
 				return m.db.ConvoyBlockedStatements() > convoyAtStart+10
 			}
+			dsp := sp.Child("dta")
 			res, err := dta.Run(m.db, opts)
 			if err != nil && !errors.Is(err, dta.ErrAborted) {
+				dsp.Annotate("error", err)
+				dsp.End()
+				sp.End()
 				ds.DTASession = "error"
 				cp.store.SaveDatabase(ds)
 				cp.incident(m.db.Name(), "", "dta-session-failure", err.Error())
@@ -285,15 +311,20 @@ func (cp *ControlPlane) analysisService() {
 			}
 			if res != nil {
 				cands = res.Recommendations
+				dsp.Annotate("whatif_calls", res.WhatIfCalls)
+				dsp.Annotate("aborted", res.Aborted)
 				cp.hub.Inc("dta.sessions", 1)
 				cp.hub.Inc("dta.whatif_calls", res.WhatIfCalls)
 				if res.Aborted {
 					cp.hub.Inc("dta.aborted", 1)
 				}
 			}
+			dsp.End()
 			ds.DTASession = "completed"
 		default:
+			msp := sp.Child("mi")
 			cands = m.miRec.Recommend()
+			msp.End()
 			cp.hub.Inc("mi.analyses", 1)
 		}
 		cp.store.SaveDatabase(ds)
@@ -306,6 +337,9 @@ func (cp *ControlPlane) analysisService() {
 				created++
 			}
 		}
+		sp.Annotate("candidates", len(cands))
+		sp.Annotate("filed", created)
+		sp.End()
 	}
 }
 

@@ -54,7 +54,7 @@ func (cp *ControlPlane) implementService() {
 		if target == "" {
 			target = StateImplementing
 		}
-		if err := r.Transition(target, now); err != nil {
+		if err := cp.transition(r, target, now); err != nil {
 			continue
 		}
 		cp.store.SaveRecord(r)
@@ -77,7 +77,7 @@ func (cp *ControlPlane) implementService() {
 		if !allowed {
 			continue
 		}
-		if err := r.Transition(StateImplementing, now); err != nil {
+		if err := cp.transition(r, StateImplementing, now); err != nil {
 			continue
 		}
 		cp.store.SaveRecord(r)
@@ -111,6 +111,10 @@ func (cp *ControlPlane) serverSettings(server string) ServerSettings {
 // built, a drop treats an already-absent index as goal met.
 func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
 	now := cp.clock.Now()
+	sp := cp.tracer.Start(r.Database, "implement")
+	sp.Annotate("rec", r.ID)
+	sp.Annotate("action", r.Action)
+	defer sp.End() // covers the index build's virtual duration
 	var err error
 	switch r.Action {
 	case core.ActionCreateIndex:
@@ -143,7 +147,7 @@ func (cp *ControlPlane) executeImplement(m *managed, r *Record) {
 	}
 	r.ImplementedAt = now
 	r.SubState = "executed"
-	if terr := r.Transition(StateValidating, now); terr != nil {
+	if terr := cp.transition(r, StateValidating, now); terr != nil {
 		return
 	}
 	cp.store.SaveRecord(r)
@@ -199,7 +203,7 @@ func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecS
 	switch classifyImplementError(err) {
 	case errClassWellKnown:
 		r.SubState = "well-known-error"
-		_ = r.Transition(StateError, now)
+		_ = cp.transition(r, StateError, now)
 		cp.store.SaveRecord(r)
 		cp.hub.Inc("errors.terminal", 1)
 		return
@@ -208,14 +212,14 @@ func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecS
 		if r.Attempts <= cp.cfg.MaxRetries {
 			r.RetryTarget = failedAt
 			r.SubState = "transient-error"
-			_ = r.Transition(StateRetry, now)
+			_ = cp.transition(r, StateRetry, now)
 			cp.store.SaveRecord(r)
 			cp.hub.Inc("errors.transient", 1)
 			return
 		}
 	}
 	r.SubState = "unrecognized-error"
-	_ = r.Transition(StateError, now)
+	_ = cp.transition(r, StateError, now)
 	cp.store.SaveRecord(r)
 	cp.hub.Inc("errors.incident", 1)
 	cp.incident(r.Database, r.ID, "implementation-failure", err.Error())
@@ -234,28 +238,44 @@ func (cp *ControlPlane) validationService() {
 			continue
 		}
 		created := r.Action == core.ActionCreateIndex
+		sp := cp.tracer.Start(r.Database, "validate")
+		sp.Annotate("rec", r.ID)
 		outcome := validate.Validate(m.db.QueryStore(), r.Index.Name, created,
 			r.ImplementedAt, cp.cfg.ValidationWindow, cp.cfg.Validator)
 		r.Validation = &outcome
 		cp.hub.Inc("validations", 1)
+		cp.reg.Counter(descValidations).Inc()
+		switch outcome.Verdict {
+		case validate.VerdictImproved:
+			cp.reg.Counter(descValidationsImproved).Inc()
+		case validate.VerdictRegressed:
+			cp.reg.Counter(descValidationsRegressed).Inc()
+		default:
+			cp.reg.Counter(descValidationsInconclusive).Inc()
+		}
+		sp.Annotate("verdict", outcome.Verdict)
+		sp.Annotate("revert", outcome.Revert)
 		// Feed the outcome back into the MI classifier (§5.2).
 		if r.Source == core.SourceMI && len(r.Features) > 0 {
 			m.miRec.TrainFromValidation(r.Features, outcome.Verdict == validate.VerdictImproved)
 		}
 		if outcome.Revert {
-			_ = r.Transition(StateReverting, now)
+			_ = cp.transition(r, StateReverting, now)
 			cp.store.SaveRecord(r)
 			cp.hub.Inc("reverts.triggered", 1)
+			cp.reg.Counter(descReverts).Inc()
 			cp.classifyRevert(m, r, &outcome)
+			sp.End()
 			continue
 		}
 		r.SubState = string("validated-" + outcome.Verdict.String())
-		_ = r.Transition(StateSuccess, now)
+		_ = cp.transition(r, StateSuccess, now)
 		cp.store.SaveRecord(r)
 		cp.hub.Inc("validations.success", 1)
 		if outcome.Verdict == validate.VerdictImproved {
 			cp.hub.Inc("validations.improved", 1)
 		}
+		sp.End()
 	}
 }
 
@@ -320,7 +340,7 @@ func (cp *ControlPlane) revertService() {
 			cp.handleImplementError(r, err, StateReverting, now)
 			continue
 		}
-		_ = r.Transition(StateReverted, now)
+		_ = cp.transition(r, StateReverted, now)
 		cp.store.SaveRecord(r)
 		cp.hub.Inc("reverts.completed", 1)
 		cp.hub.Emit(telemetry.Event{At: now, Database: r.Database, Kind: "reverted", Detail: r.Index.Name})
@@ -336,7 +356,7 @@ func (cp *ControlPlane) expiryService() {
 	for _, r := range active {
 		if now.Sub(r.CreatedAt) > cp.cfg.RecommendationTTL {
 			r.SubState = "aged-out"
-			_ = r.Transition(StateExpired, now)
+			_ = cp.transition(r, StateExpired, now)
 			cp.store.SaveRecord(r)
 			cp.hub.Inc("expired", 1)
 			continue
@@ -347,7 +367,7 @@ func (cp *ControlPlane) expiryService() {
 			}
 			if newer.Action == r.Action && strings.EqualFold(newer.Index.Table, r.Index.Table) && newer.Index.SameKey(r.Index) {
 				r.SubState = "invalidated-by-" + newer.ID
-				_ = r.Transition(StateExpired, now)
+				_ = cp.transition(r, StateExpired, now)
 				cp.store.SaveRecord(r)
 				cp.hub.Inc("expired", 1)
 				break
@@ -371,10 +391,10 @@ func (cp *ControlPlane) healthService() {
 		r.Attempts++
 		if r.Attempts > cp.cfg.MaxRetries {
 			r.SubState = "stuck"
-			_ = r.Transition(StateError, now)
+			_ = cp.transition(r, StateError, now)
 		} else if r.State == StateImplementing || r.State == StateReverting {
 			r.RetryTarget = r.State
-			_ = r.Transition(StateRetry, now)
+			_ = cp.transition(r, StateRetry, now)
 		} else {
 			r.UpdatedAt = now
 		}

@@ -17,6 +17,7 @@ import (
 	"autoindex/internal/btree"
 	"autoindex/internal/dmv"
 	"autoindex/internal/faults"
+	"autoindex/internal/metrics"
 	"autoindex/internal/optimizer"
 	"autoindex/internal/querystore"
 	"autoindex/internal/schema"
@@ -136,6 +137,9 @@ type Database struct {
 	// injector, when set, fires the engine's chaos fault points (index
 	// builds and drops); nil in production paths.
 	injector *faults.Injector
+	// reg, when set, receives engine/optimizer metrics; nil disables
+	// them (every handle method is a no-op on nil).
+	reg *metrics.Registry
 
 	failovers     int64
 	schemaChanges int64
@@ -222,6 +226,22 @@ func (d *Database) faultInjector() *faults.Injector {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.injector
+}
+
+// SetMetrics attaches a metrics registry; the engine, its optimizers,
+// and the recommenders reading through Metrics() all feed it. Pass nil
+// to disable. Safe to call concurrently with running statements.
+func (d *Database) SetMetrics(reg *metrics.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reg = reg
+}
+
+// Metrics reads the attached registry (nil when metrics are off).
+func (d *Database) Metrics() *metrics.Registry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.reg
 }
 
 // Failover simulates a server failover: the missing-index DMVs reset

@@ -82,6 +82,7 @@ func (d *Database) CreateIndex(def schema.IndexDef, opts IndexBuildOptions) erro
 // CreateIndexWithReport is CreateIndex returning build telemetry.
 func (d *Database) CreateIndexWithReport(def schema.IndexDef, opts IndexBuildOptions) (IndexBuildReport, error) {
 	injector := d.faultInjector() // read before taking d.mu (not reentrant)
+	reg := d.Metrics()
 	d.mu.Lock()
 	t, ok := d.tables[strings.ToLower(def.Table)]
 	if !ok {
@@ -109,16 +110,20 @@ func (d *Database) CreateIndexWithReport(def schema.IndexDef, opts IndexBuildOpt
 		switch {
 		case in.Should(faults.IndexBuildLockTimeout):
 			d.mu.Unlock()
+			reg.Counter(descFaultTrips).Inc()
+			reg.Counter(descLockTimeouts).Inc()
 			d.clock.Sleep(5 * time.Second) // burned the lock-wait budget
 			return IndexBuildReport{}, fmt.Errorf("create index %s: %w", def.Name, ErrLockTimeout)
 		case in.Should(faults.IndexBuildLogFull):
 			d.mu.Unlock()
+			reg.Counter(descFaultTrips).Inc()
 			// The failed build consumed time and log before hitting the wall.
 			sz := def.EstimatedSizeBytes(t.def, t.rowCount)
 			d.clock.Sleep(d.buildDuration(sz) / 2)
 			return IndexBuildReport{LogBytes: sz / 2}, fmt.Errorf("create index %s: log growth race: %w", def.Name, ErrLogFull)
 		case in.Should(faults.IndexBuildAbort):
 			d.mu.Unlock()
+			reg.Counter(descFaultTrips).Inc()
 			sz := def.EstimatedSizeBytes(t.def, t.rowCount)
 			d.clock.Sleep(d.buildDuration(sz) / 4)
 			return IndexBuildReport{}, fmt.Errorf("create index %s: %w", def.Name, ErrBuildAborted)
@@ -174,6 +179,8 @@ func (d *Database) CreateIndexWithReport(def schema.IndexDef, opts IndexBuildOpt
 	dur := d.buildDuration(sizeBytes) * time.Duration(1+report.Pauses/4+1) / 2
 	report.Duration = dur
 	d.clock.Sleep(dur)
+	reg.Counter(descIndexBuilds).Inc()
+	reg.Histogram(descIndexBuildMillis).ObserveDuration(dur)
 	return report, nil
 }
 
@@ -210,22 +217,28 @@ func (d *Database) DropIndex(name string, opts DropIndexOptions) error {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	reg := d.Metrics()
 	if in := d.faultInjector(); in != nil && in.Should(faults.DropLockTimeout) {
 		// An injected convoy: the low-priority request burns its wait
 		// budget behind shared holders that never clear in time.
+		reg.Counter(descFaultTrips).Inc()
+		reg.Counter(descLockTimeouts).Inc()
 		d.clock.Sleep(timeout)
 		return fmt.Errorf("drop index %s: %w", name, ErrLockTimeout)
 	}
-	release, _, err := d.locks.AcquireExclusive(ix.def.Table, opts.LowPriority, timeout)
+	release, waited, err := d.locks.AcquireExclusive(ix.def.Table, opts.LowPriority, timeout)
 	if err != nil {
+		reg.Counter(descLockTimeouts).Inc()
 		return err
 	}
+	reg.Histogram(descLockWaitMillis).ObserveDuration(waited)
 	defer release()
 	d.mu.Lock()
 	delete(d.indexes, strings.ToLower(name))
 	d.noteSchemaChange()
 	d.mu.Unlock()
 	d.usage.Forget(name)
+	reg.Counter(descIndexDrops).Inc()
 	return nil
 }
 

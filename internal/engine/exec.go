@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -51,7 +52,8 @@ func (d *Database) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		return &Result{}, d.DropIndex(s.Name, DropIndexOptions{})
 	}
 
-	opt := &optimizer.Optimizer{Cat: d, MI: &miAdapter{d}}
+	reg := d.Metrics()
+	opt := &optimizer.Optimizer{Cat: d, MI: &miAdapter{d}, Reg: reg}
 	plan, err := opt.Plan(stmt)
 	if err != nil {
 		return nil, err
@@ -80,6 +82,15 @@ func (d *Database) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	res.Plan = plan
 	res.Measured = d.measure(meter, blockedWait)
 	d.record(stmt, plan, res.Measured)
+	reg.Counter(descStatements).Inc()
+	// Estimated-vs-measured calibration: this is the only layer that
+	// sees both the optimizer's cost estimate and the metered execution
+	// it produced. Rounded percent keeps the histogram integer-valued
+	// (the determinism contract).
+	if m := res.Measured.CPUMillis; m > 0 {
+		errPct := math.Abs(plan.EstCost-m) / m * 100
+		reg.Histogram(optimizer.DescEstErrorAbsPct).Observe(int64(math.Round(errPct)))
+	}
 	return res, nil
 }
 
@@ -647,7 +658,7 @@ func (d *Database) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opt := &optimizer.Optimizer{Cat: d}
+	opt := &optimizer.Optimizer{Cat: d, Reg: d.Metrics()}
 	plan, err := opt.Plan(stmt)
 	if err != nil {
 		return "", err

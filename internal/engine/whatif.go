@@ -34,7 +34,7 @@ func (d *Database) NewWhatIfSession() *WhatIfSession {
 	return &WhatIfSession{
 		db:  d,
 		cat: cat,
-		opt: &optimizer.Optimizer{Cat: cat, WhatIfMode: true},
+		opt: &optimizer.Optimizer{Cat: cat, WhatIfMode: true, Reg: d.Metrics()},
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"autoindex/internal/controlplane"
 	"autoindex/internal/engine"
 	"autoindex/internal/experiment"
+	"autoindex/internal/metrics"
 	"autoindex/internal/querystore"
 	"autoindex/internal/sim"
 	"autoindex/internal/telemetry"
@@ -58,6 +59,10 @@ type Fleet struct {
 	// come from it.
 	RNG     *sim.RNG
 	Tenants []*workload.Tenant
+	// Metrics is the run's registry: every tenant engine, the control
+	// plane, and the fleet harness itself feed it. Its non-volatile
+	// snapshot is byte-identical at any Workers count.
+	Metrics *metrics.Registry
 
 	spec   Spec
 	clocks []*sim.VirtualClock // clocks[i] belongs to Tenants[i]
@@ -67,7 +72,7 @@ type Fleet struct {
 // worker pool. Tenant i's schema, data and templates derive only from its
 // own seed, so parallel construction is deterministic.
 func Build(spec Spec) (*Fleet, error) {
-	f := &Fleet{Clock: sim.NewClock(), RNG: sim.NewRNG(spec.Seed), spec: spec}
+	f := &Fleet{Clock: sim.NewClock(), RNG: sim.NewRNG(spec.Seed), Metrics: metrics.NewRegistry(), spec: spec}
 	profiles := make([]workload.Profile, spec.Databases)
 	for i := range profiles {
 		tier := spec.Tier
@@ -107,13 +112,23 @@ func Build(spec Spec) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: tenant %d: %w", i, err)
 		}
 	}
+	// Attach metrics after construction so initial population replay is
+	// uncounted for every tenant alike (growth tenants get the same
+	// treatment in addTenant).
+	for _, tn := range f.Tenants {
+		tn.DB.SetMetrics(f.Metrics)
+	}
+	f.Metrics.Gauge(descTenants).Set(int64(len(f.Tenants)))
 	return f, nil
 }
 
 // addTenant registers a tenant built outside Build (fleet growth).
 func (f *Fleet) addTenant(tn *workload.Tenant, clock *sim.VirtualClock) {
+	tn.DB.SetMetrics(f.Metrics)
 	f.Tenants = append(f.Tenants, tn)
 	f.clocks = append(f.clocks, clock)
+	f.Metrics.Counter(descTenantsGrown).Inc()
+	f.Metrics.Gauge(descTenants).Set(int64(len(f.Tenants)))
 }
 
 // alignClocks advances the region clock and every tenant clock to the
@@ -147,7 +162,7 @@ func (f *Fleet) tenantStream(tn *workload.Tenant, purpose string) *sim.RNG {
 // order.
 func (f *Fleet) RunFig6(tierLabel string, cfg experiment.Fig6Config) experiment.Fig6Summary {
 	results := make([]experiment.DatabaseResult, len(f.Tenants))
-	forEach(f.spec.Workers, len(f.Tenants), func(i int) {
+	forEachObserved(f.Metrics, f.spec.Workers, len(f.Tenants), func(i int) {
 		tn := f.Tenants[i]
 		results[i] = experiment.RunFig6ForTenant(tn, cfg, f.tenantStream(tn, "fig6"))
 	})
@@ -222,6 +237,9 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 		ch = newChaosHarness(cfg.Chaos, spec.Seed, mem)
 		store, hub = ch.wrapped, ch.hub
 	}
+	if cfg.Plane.Metrics == nil {
+		cfg.Plane.Metrics = f.Metrics
+	}
 	cp := controlplane.New(cfg.Plane, f.Clock, store, hub)
 	// manage enrolls a tenant with the current plane incarnation; plane
 	// and step indirect through the crash runner when chaos is on, so a
@@ -280,13 +298,15 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 	hours := cfg.Days * 24
 	warmupHours := 24
 	for h := 0; h < hours; h++ {
-		forEach(f.spec.Workers, len(f.Tenants), func(i int) {
+		forEachObserved(f.Metrics, f.spec.Workers, len(f.Tenants), func(i int) {
 			tn := f.Tenants[i]
 			tn.Run(0, cfg.StatementsPerHour)
 			if failRNG[tn.DB.Name()].Float64() < cfg.FailoverProb/24 {
 				tn.DB.Failover()
+				f.Metrics.Counter(descFailovers).Inc()
 			}
 		})
+		f.Metrics.Counter(descTenantHours).Add(int64(len(f.Tenants)))
 		f.Clock.Advance(time.Hour)
 		f.alignClocks() // tenants catch up to the region hour tick
 		step()

@@ -1,0 +1,24 @@
+package fleet
+
+import "autoindex/internal/metrics"
+
+// Fleet-level instrumentation. Everything except worker-shard
+// throughput is updated serially at hour barriers (or counted with
+// commutative atomic adds inside the parallel section), so the values
+// are identical at any -workers count. Shard throughput is the one
+// legitimately scheduling-dependent metric: it is marked volatile and
+// therefore excluded from the deterministic snapshot, appearing only in
+// the full /metrics exposition.
+var (
+	descTenants = metrics.NewGaugeDesc("fleet.tenants",
+		"databases currently in the fleet")
+	descTenantHours = metrics.NewCounterDesc("fleet.tenant_hours",
+		"tenant-hours of workload replayed")
+	descFailovers = metrics.NewCounterDesc("fleet.failovers",
+		"simulated server failovers (MI DMV resets)")
+	descTenantsGrown = metrics.NewCounterDesc("fleet.tenants_grown",
+		"databases added mid-run by fleet growth")
+	descWorkerItems = metrics.NewHistogramDesc("fleet.worker_shard_items",
+		"items processed per worker slot per parallel section (shard throughput)",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024).MarkVolatile()
+)

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"autoindex/internal/metrics"
 )
 
 // normalizeWorkers resolves a worker-count setting: non-positive means one
@@ -30,11 +32,23 @@ func normalizeWorkers(workers, items int) int {
 // the loop runs inline on the calling goroutine, which keeps single-worker
 // runs trivially comparable against parallel ones in determinism tests.
 func forEach(workers, n int, fn func(i int)) {
+	forEachObserved(nil, workers, n, fn)
+}
+
+// forEachObserved is forEach plus shard-throughput observation: each
+// worker records how many items it ended up processing into the
+// volatile fleet.worker_shard_items histogram on reg. The distribution
+// genuinely depends on scheduling — that is what it measures — which is
+// exactly why the metric is volatile and never part of the
+// deterministic snapshot.
+func forEachObserved(reg *metrics.Registry, workers, n int, fn func(i int)) {
+	h := reg.Histogram(descWorkerItems)
 	workers = normalizeWorkers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		h.Observe(int64(n))
 		return
 	}
 	var next atomic.Int64
@@ -43,12 +57,15 @@ func forEach(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			items := int64(0)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					h.Observe(items)
 					return
 				}
 				fn(i)
+				items++
 			}
 		}()
 	}

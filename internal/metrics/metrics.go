@@ -1,0 +1,323 @@
+// Package metrics is the tuner's own instrumentation layer: stdlib-only
+// counters, gauges, and fixed-bucket histograms with atomic hot paths.
+//
+// The design splits *descriptors* from *values*. A Desc (name, help,
+// kind, bucket bounds) is created once, at package level, via
+// NewCounterDesc / NewGaugeDesc / NewHistogramDesc — each constructor
+// registers the descriptor in a process-wide catalog and panics on a
+// duplicate name, so collisions surface at init time. Values live in a
+// Registry: each simulation run (a Fleet, a control plane under test)
+// owns its own Registry, so runs never share state and tests stay
+// hermetic. A nil *Registry is valid everywhere and hands out nil
+// handles whose methods are no-ops, mirroring the faults.Injector
+// pattern — instrumented code never branches on "is metrics enabled".
+//
+// Determinism contract (the part that matters in this repo): every
+// value is an int64. Integer atomic adds are commutative and
+// associative, so totals are identical no matter how the fleet's worker
+// pool interleaves tenants — which is what lets Snapshot(false) be
+// byte-identical across -workers counts. Float sums would not survive
+// reordering; durations are therefore observed as virtual-clock
+// milliseconds and ratios as rounded percents. Metrics whose values
+// legitimately depend on scheduling (per-worker shard throughput, wall
+// phase timings) are marked volatile via MarkVolatile and excluded from
+// the deterministic snapshot; they still appear in the full /metrics
+// exposition.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates the three value shapes a Desc can describe.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Desc describes one metric: its identity and shape, but no value.
+// Create descriptors only in package-level var blocks or init functions
+// (the metricsdiscipline lint check enforces this) so the catalog is
+// complete before any goroutine observes anything.
+type Desc struct {
+	name     string
+	help     string
+	kind     Kind
+	bounds   []int64 // histogram upper bounds, strictly ascending
+	volatile bool
+}
+
+func (d *Desc) Name() string { return d.name }
+func (d *Desc) Help() string { return d.help }
+func (d *Desc) Kind() Kind   { return d.kind }
+
+// Volatile reports whether the metric's value may depend on scheduling
+// (worker count, wall clock) rather than on the seeded simulation alone.
+func (d *Desc) Volatile() bool { return d.volatile }
+
+// MarkVolatile flags the metric as scheduling-dependent, excluding it
+// from deterministic snapshots. Returns d for use in var initializers.
+func (d *Desc) MarkVolatile() *Desc {
+	d.volatile = true
+	return d
+}
+
+// catalog is the process-wide descriptor registry. Writes happen during
+// package init (single-goroutine) or, pathologically, at runtime — the
+// mutex keeps the latter safe and the lint rule keeps it rare.
+var catalog struct {
+	mu     sync.Mutex
+	byName map[string]*Desc
+	all    []*Desc
+}
+
+func register(d *Desc) *Desc {
+	catalog.mu.Lock()
+	defer catalog.mu.Unlock()
+	if catalog.byName == nil {
+		catalog.byName = make(map[string]*Desc)
+	}
+	if prev, ok := catalog.byName[d.name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate descriptor %q (kinds %s and %s)", d.name, prev.kind, d.kind))
+	}
+	catalog.byName[d.name] = d
+	catalog.all = append(catalog.all, d)
+	return d
+}
+
+// NewCounterDesc registers a monotonically increasing counter.
+func NewCounterDesc(name, help string) *Desc {
+	return register(&Desc{name: name, help: help, kind: KindCounter})
+}
+
+// NewGaugeDesc registers a gauge (a value that can go up and down).
+func NewGaugeDesc(name, help string) *Desc {
+	return register(&Desc{name: name, help: help, kind: KindGauge})
+}
+
+// NewHistogramDesc registers a fixed-bucket histogram. bounds are the
+// inclusive upper edges of the buckets, strictly ascending; one
+// overflow bucket (+Inf) is always appended.
+func NewHistogramDesc(name, help string, bounds ...int64) *Desc {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending at %d", name, i))
+		}
+	}
+	return register(&Desc{name: name, help: help, kind: KindHistogram, bounds: append([]int64(nil), bounds...)})
+}
+
+// Descs returns the full catalog sorted by name. The slice is a copy;
+// the *Desc pointers are shared.
+func Descs() []*Desc {
+	catalog.mu.Lock()
+	defer catalog.mu.Unlock()
+	out := append([]*Desc(nil), catalog.all...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Registry holds the values for one simulation run. The zero Registry
+// is not usable; a nil *Registry is — every accessor returns a nil
+// handle whose methods are no-ops.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[*Desc]*Counter
+	gauges     map[*Desc]*Gauge
+	histograms map[*Desc]*Histogram
+}
+
+// NewRegistry returns an empty registry; values materialize lazily on
+// first access.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[*Desc]*Counter),
+		gauges:     make(map[*Desc]*Gauge),
+		histograms: make(map[*Desc]*Histogram),
+	}
+}
+
+func kindCheck(d *Desc, want Kind) {
+	if d.kind != want {
+		panic(fmt.Sprintf("metrics: %q is a %s, requested as %s", d.name, d.kind, want))
+	}
+}
+
+// Counter returns the counter for d, creating it on first use. Safe on
+// a nil registry (returns a nil, no-op handle).
+func (r *Registry) Counter(d *Desc) *Counter {
+	if r == nil {
+		return nil
+	}
+	kindCheck(d, KindCounter)
+	r.mu.RLock()
+	c := r.counters[d]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[d]; c == nil {
+		c = &Counter{}
+		r.counters[d] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for d, creating it on first use.
+func (r *Registry) Gauge(d *Desc) *Gauge {
+	if r == nil {
+		return nil
+	}
+	kindCheck(d, KindGauge)
+	r.mu.RLock()
+	g := r.gauges[d]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[d]; g == nil {
+		g = &Gauge{}
+		r.gauges[d] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for d, creating it on first use.
+func (r *Registry) Histogram(d *Desc) *Histogram {
+	if r == nil {
+		return nil
+	}
+	kindCheck(d, KindHistogram)
+	r.mu.RLock()
+	h := r.histograms[d]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[d]; h == nil {
+		h = &Histogram{bounds: d.bounds, counts: make([]atomic.Int64, len(d.bounds)+1)}
+		r.histograms[d] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64. All methods are safe on
+// a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. All methods are safe on a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts int64 observations into fixed buckets. An
+// observation v lands in the first bucket with v <= bound, or in the
+// overflow bucket. Negative observations clamp to zero so virtual-clock
+// regressions cannot corrupt the distribution.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow (+Inf)
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in whole milliseconds. Callers
+// must derive d from the simulation clock, never time.Now — the
+// metricsdiscipline lint check flags the latter.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Milliseconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all (clamped) observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Test descriptors are registered at package level like everyone
+// else's: the catalog is process-wide and the metricsdiscipline lint
+// rule applies to tests too.
+var (
+	tCounter = NewCounterDesc("test.counter", "a test counter")
+	tGauge   = NewGaugeDesc("test.gauge", "a test gauge")
+	tHist    = NewHistogramDesc("test.hist_ms", "a test histogram", 1, 10, 100)
+	tVol     = NewCounterDesc("test.volatile", "a scheduling-dependent test counter").MarkVolatile()
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(tCounter)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter(tCounter) != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge(tGauge)
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram(tHist)
+	h.Observe(0)   // bucket le=1
+	h.Observe(1)   // bucket le=1 (inclusive upper bound)
+	h.Observe(2)   // bucket le=10
+	h.Observe(-9)  // clamps to 0, bucket le=1
+	h.Observe(101) // overflow
+	h.ObserveDuration(50 * time.Millisecond)
+	if got := h.Count(); got != 6 {
+		t.Fatalf("hist count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 0+1+2+0+101+50 {
+		t.Fatalf("hist sum = %d, want 154", got)
+	}
+	want := []int64{3, 1, 1, 1} // le=1, le=10, le=100, +Inf
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter(tCounter).Inc()
+	r.Gauge(tGauge).Set(3)
+	r.Histogram(tHist).Observe(5)
+	r.Histogram(tHist).ObserveDuration(time.Second)
+	if r.Counter(tCounter).Value() != 0 || r.Gauge(tGauge).Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if r.Histogram(tHist).Count() != 0 || r.Histogram(tHist).Sum() != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+	if _, err := r.MarshalDeterministic(); err != nil {
+		t.Fatalf("nil registry snapshot: %v", err)
+	}
+}
+
+// TestConcurrentUpdates is the race-detector target: many goroutines
+// hammering the same counter and histogram, including first-touch
+// materialization racing against updates.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter(tCounter).Inc()
+				r.Histogram(tHist).Observe(int64(j % 128))
+				r.Gauge(tGauge).Add(1)
+			}
+			_ = r.Snapshot(true)
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter(tCounter).Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Histogram(tHist).Count(); got != goroutines*per {
+		t.Fatalf("hist count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestSnapshotOrderIndependence: the same multiset of observations
+// applied in different orders (and from different goroutine counts)
+// must serialize to identical bytes — the property -metrics-out relies
+// on across -workers values.
+func TestSnapshotOrderIndependence(t *testing.T) {
+	obs := make([]int64, 500)
+	for i := range obs {
+		obs[i] = int64(i * 7 % 300)
+	}
+	run := func(workers int) []byte {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(obs); i += workers {
+					r.Histogram(tHist).Observe(obs[i])
+					r.Counter(tCounter).Add(obs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		b, err := r.MarshalDeterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b, c := run(1), run(4), run(8)
+	if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+		t.Fatal("deterministic snapshot differs across goroutine counts")
+	}
+}
+
+func TestVolatileExcluded(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(tVol).Inc()
+	for _, s := range r.Snapshot(false) {
+		if s.Name == "test.volatile" {
+			t.Fatal("volatile metric leaked into the deterministic snapshot")
+		}
+	}
+	found := false
+	for _, s := range r.Snapshot(true) {
+		if s.Name == "test.volatile" {
+			found = true
+			if s.Value == nil || *s.Value != 1 {
+				t.Fatalf("volatile value = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("volatile metric missing from the full snapshot")
+	}
+}
+
+func TestUntouchedMetricsAppearAsZero(t *testing.T) {
+	r := NewRegistry()
+	snap := r.Snapshot(false)
+	byName := map[string]MetricSnapshot{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	h, ok := byName["test.hist_ms"]
+	if !ok {
+		t.Fatal("untouched histogram absent from snapshot")
+	}
+	if *h.Count != 0 || *h.Sum != 0 || len(h.Buckets) != 4 {
+		t.Fatalf("untouched histogram not zero-shaped: %+v", h)
+	}
+	if h.Buckets[3].LE != "+Inf" {
+		t.Fatalf("overflow bucket LE = %q, want +Inf", h.Buckets[3].LE)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(tCounter).Add(3)
+	h := r.Histogram(tHist)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(1000)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test.counter counter",
+		"test.counter 3",
+		`test.hist_ms_bucket{le="1"} 1`,
+		`test.hist_ms_bucket{le="10"} 2`,  // cumulative
+		`test.hist_ms_bucket{le="100"} 2`, // cumulative, nothing in (10,100]
+		`test.hist_ms_bucket{le="+Inf"} 3`,
+		"test.hist_ms_sum 1006",
+		"test.hist_ms_count 3",
+		"test.volatile 0", // volatile metrics do appear in the text view
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	NewGaugeDesc("test.counter", "same name, different kind")
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	NewRegistry().Counter(tHist)
+}
+
+func TestBadHistogramBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogramDesc("test.bad_bounds", "x", 10, 10)
+}

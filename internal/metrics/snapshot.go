@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// BucketSnapshot is one histogram bucket in a snapshot. LE is the
+// inclusive upper bound as a decimal string, "+Inf" for the overflow
+// bucket; Count is non-cumulative (observations in this bucket alone).
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricSnapshot is one metric's value at snapshot time. Counter and
+// gauge use Value; histograms use Count/Sum/Buckets.
+type MetricSnapshot struct {
+	Name    string           `json:"name"`
+	Kind    string           `json:"kind"`
+	Help    string           `json:"help"`
+	Value   *int64           `json:"value,omitempty"`
+	Count   *int64           `json:"count,omitempty"`
+	Sum     *int64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every cataloged metric in name order. Metrics the
+// run never touched appear with zero values, so the shape of the output
+// depends only on the catalog, not on which code paths executed.
+// Volatile metrics (scheduling-dependent values) are included only when
+// includeVolatile is set; the deterministic consumers (fleetsim
+// -metrics-out, the determinism tests) pass false.
+func (r *Registry) Snapshot(includeVolatile bool) []MetricSnapshot {
+	out := []MetricSnapshot{}
+	for _, d := range Descs() {
+		if d.volatile && !includeVolatile {
+			continue
+		}
+		s := MetricSnapshot{Name: d.name, Kind: d.kind.String(), Help: d.help}
+		switch d.kind {
+		case KindCounter:
+			v := int64(0)
+			if r != nil {
+				r.mu.RLock()
+				c := r.counters[d]
+				r.mu.RUnlock()
+				v = c.Value()
+			}
+			s.Value = &v
+		case KindGauge:
+			v := int64(0)
+			if r != nil {
+				r.mu.RLock()
+				g := r.gauges[d]
+				r.mu.RUnlock()
+				v = g.Value()
+			}
+			s.Value = &v
+		case KindHistogram:
+			var h *Histogram
+			if r != nil {
+				r.mu.RLock()
+				h = r.histograms[d]
+				r.mu.RUnlock()
+			}
+			count, sum := h.Count(), h.Sum()
+			s.Count, s.Sum = &count, &sum
+			s.Buckets = make([]BucketSnapshot, 0, len(d.bounds)+1)
+			for i, b := range d.bounds {
+				n := int64(0)
+				if h != nil {
+					n = h.counts[i].Load()
+				}
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: strconv.FormatInt(b, 10), Count: n})
+			}
+			n := int64(0)
+			if h != nil {
+				n = h.counts[len(d.bounds)].Load()
+			}
+			s.Buckets = append(s.Buckets, BucketSnapshot{LE: "+Inf", Count: n})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MarshalDeterministic renders the non-volatile snapshot as indented
+// JSON with a trailing newline. For a given seed the bytes are
+// identical at any fleet worker count — this is what fleetsim
+// -metrics-out writes and what the determinism test compares.
+func (r *Registry) MarshalDeterministic() ([]byte, error) {
+	b, err := json.MarshalIndent(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{r.Snapshot(false)}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteText renders every metric — volatile included — in a
+// Prometheus-style text exposition for the /metrics endpoint.
+// Histogram buckets are cumulative here, matching the convention
+// scrapers expect.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot(true) {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.Name, s.Help, s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			cum := int64(0)
+			for _, b := range s.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, b.LE, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", s.Name, *s.Sum, s.Name, *s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.Name, *s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package optimizer
+
+import "autoindex/internal/metrics"
+
+// Optimizer self-instrumentation (§6 "tune the tuner"): how often the
+// planner runs, how much of that is what-if probing, and how well its
+// cost estimates track measured execution.
+var (
+	descPlans = metrics.NewCounterDesc("optimizer.plans",
+		"regular (non-what-if) optimizations performed")
+	descWhatIfCalls = metrics.NewCounterDesc("optimizer.whatif_calls",
+		"optimizations performed on behalf of the what-if API")
+
+	// DescEstErrorAbsPct is observed by the engine, which is the only
+	// layer that sees both the plan's estimated cost and the metered
+	// execution it produced. Buckets are |est-measured|/measured in
+	// rounded percent.
+	DescEstErrorAbsPct = metrics.NewHistogramDesc("optimizer.est_error_abs_pct",
+		"absolute relative error between estimated plan cost and measured CPU, percent",
+		5, 10, 25, 50, 100, 200, 400, 1_000, 10_000)
+)

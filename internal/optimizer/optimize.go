@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"autoindex/internal/dmv"
+	"autoindex/internal/metrics"
 	"autoindex/internal/schema"
 	"autoindex/internal/sqlparser"
 )
@@ -31,6 +32,9 @@ type Optimizer struct {
 	MI MIObserver
 	// WhatIfMode marks planning on behalf of the what-if API.
 	WhatIfMode bool
+	// Reg, when non-nil, receives optimizer metrics (plan counts split
+	// by mode). A nil registry disables them without branching here.
+	Reg *metrics.Registry
 
 	calls int64
 }
@@ -42,6 +46,11 @@ func (o *Optimizer) Calls() int64 { return atomic.LoadInt64(&o.calls) }
 // Plan builds a physical plan for stmt.
 func (o *Optimizer) Plan(stmt sqlparser.Statement) (*Plan, error) {
 	atomic.AddInt64(&o.calls, 1)
+	if o.WhatIfMode {
+		o.Reg.Counter(descWhatIfCalls).Inc()
+	} else {
+		o.Reg.Counter(descPlans).Inc()
+	}
 	var root *Node
 	var err error
 	switch s := stmt.(type) {

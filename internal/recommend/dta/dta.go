@@ -135,6 +135,13 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 
 	now := db.Clock().Now()
 	since := now.Add(-opts.WindowN)
+	reg := db.Metrics()
+	reg.Counter(descPasses).Inc()
+	defer func() {
+		// Pass latency in virtual time: what-if costing and sampled-stats
+		// builds advance the tenant clock, so this measures tuning load.
+		reg.Histogram(descPassMillis).ObserveDuration(db.Clock().Now().Sub(now))
+	}()
 
 	// (a) Workload identification from Query Store (§5.3.2).
 	top := db.QueryStore().TopByCPU(since, opts.TopK)
@@ -193,6 +200,9 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 		}
 	}
 
+	generated := int64(len(pool))
+	reg.Counter(descCandidatesGenerated).Add(generated)
+
 	// Drop candidates duplicating existing indexes.
 	existing := db.IndexDefs()
 	for sig, c := range pool {
@@ -203,6 +213,8 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 			}
 		}
 	}
+
+	reg.Counter(descCandidatesPruned).Add(generated - int64(len(pool)))
 
 	candidates := make([]core.Candidate, 0, len(pool))
 	for _, c := range pool {

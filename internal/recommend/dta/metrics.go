@@ -1,0 +1,19 @@
+package dta
+
+import "autoindex/internal/metrics"
+
+// DTA pass instrumentation (§5.3): how often the tuner runs, how many
+// candidates each pass surfaces and discards, and how long a pass takes
+// in virtual time. What-if optimizer calls are counted by the optimizer
+// package itself (optimizer.whatif_calls).
+var (
+	descPasses = metrics.NewCounterDesc("dta.passes",
+		"DTA recommendation passes started")
+	descCandidatesGenerated = metrics.NewCounterDesc("dta.candidates_generated",
+		"distinct candidate indexes entering the DTA pool (per-query + MI augmentation)")
+	descCandidatesPruned = metrics.NewCounterDesc("dta.candidates_pruned",
+		"DTA pool candidates dropped for duplicating an existing index")
+	descPassMillis = metrics.NewHistogramDesc("dta.pass_ms",
+		"DTA pass latency in virtual milliseconds",
+		10, 100, 1_000, 10_000, 60_000, 600_000)
+)

@@ -154,6 +154,12 @@ func (r *Recommender) Snapshots() int {
 func (r *Recommender) Recommend() []core.Candidate {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	reg := r.db.Metrics()
+	reg.Counter(descPasses).Inc()
+	start := r.db.Clock().Now()
+	defer func() {
+		reg.Histogram(descPassMillis).ObserveDuration(r.db.Clock().Now().Sub(start))
+	}()
 	// Walk histories in sorted-key order: candidate order feeds merging
 	// and the final impact sort's tie-breaking, so map iteration here
 	// would make the top-k set vary run to run.
@@ -182,6 +188,14 @@ func (r *Recommender) Recommend() []core.Candidate {
 		}
 		cands = append(cands, c)
 	}
+	generated := int64(len(cands))
+	reg.Counter(descCandidatesGenerated).Add(generated)
+	defer func() {
+		// Everything between candidate construction and the returned
+		// top-k — merging, existing-index dedup, classifier, the cut —
+		// counts as pruning.
+		reg.Counter(descCandidatesPruned).Add(generated - int64(len(cands)))
+	}()
 	// Step 5: conservative merging.
 	if !r.cfg.DisableMerging {
 		cands = core.ConservativeMerge(cands)
