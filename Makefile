@@ -57,18 +57,23 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# CI bench regression gate: stash the committed BENCH_fleet.json,
-# rerun the fleet benchmark (which rewrites the file in place), and
-# fail if the fastest worker count got more than 25% slower
-# (cmd/benchdiff -threshold default; minima are compared so one noisy
-# worker-count sample can't flake the gate). The committed baseline is
-# restored afterwards either way, so the working tree stays clean. See
-# EXPERIMENTS.md "Benchmark ratchet" for how the baseline moves.
+# CI bench regression gate: stash the committed BENCH_fleet.json and
+# BENCH_recommender.json, rerun the benchmarks (which rewrite the files
+# in place), and fail if either fastest worker count got more than 25%
+# slower (cmd/benchdiff -threshold default; minima are compared so one
+# noisy worker-count sample can't flake the gate). The committed
+# baselines are restored afterwards either way, so the working tree
+# stays clean. See EXPERIMENTS.md "Benchmark ratchet" for how the
+# baselines move.
 bench-gate:
 	@cp BENCH_fleet.json .bench_baseline.json
-	$(GO) test -bench=BenchmarkFleetParallel -benchtime=1x -run '^$$' ./internal/fleet
+	@cp BENCH_recommender.json .bench_rec_baseline.json
+	$(GO) test -bench='BenchmarkFleetParallel|BenchmarkRecommenderLatency' -benchtime=1x -run '^$$' ./internal/fleet
 	@$(GO) run ./cmd/benchdiff .bench_baseline.json BENCH_fleet.json; \
-		status=$$?; mv .bench_baseline.json BENCH_fleet.json; exit $$status
+		fleet=$$?; mv .bench_baseline.json BENCH_fleet.json; \
+		$(GO) run ./cmd/benchdiff .bench_rec_baseline.json BENCH_recommender.json; \
+		rec=$$?; mv .bench_rec_baseline.json BENCH_recommender.json; \
+		exit $$((fleet + rec))
 
 # The single CI entry point: everything the workflow runs, runnable
 # locally with one command.
@@ -76,4 +81,4 @@ ci: check race cover bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out metrics.json .bench_baseline.json
+	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json

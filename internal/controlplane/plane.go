@@ -10,12 +10,13 @@ import (
 	"time"
 
 	"autoindex/internal/core"
+	"autoindex/internal/costcache"
 	"autoindex/internal/dropper"
 	"autoindex/internal/engine"
 	"autoindex/internal/mathx"
+	"autoindex/internal/metrics"
 	"autoindex/internal/recommend/dta"
 	"autoindex/internal/recommend/mi"
-	"autoindex/internal/metrics"
 	"autoindex/internal/sim"
 	"autoindex/internal/telemetry"
 	"autoindex/internal/trace"
@@ -182,6 +183,11 @@ func (cp *ControlPlane) Manage(db *engine.Database, server string, settings Sett
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	m := &managed{db: db, server: server, miRec: mi.NewWithClassifier(db, cp.cfg.MI, cp.classifier)}
+	// Surface plan-cost-cache churn from stats refreshes in fleet telemetry:
+	// a tenant whose stats rebuild every pass never keeps a warm cache.
+	db.SetStatsRefreshHook(func(table, column string) {
+		cp.hub.Inc("costcache.stats_invalidations", 1)
+	})
 	cp.dbs[strings.ToLower(db.Name())] = m
 	now := cp.clock.Now()
 	if ds, ok := cp.store.GetDatabase(db.Name()); ok {
@@ -299,6 +305,11 @@ func (cp *ControlPlane) analysisService() {
 				return m.db.ConvoyBlockedStatements() > convoyAtStart+10
 			}
 			dsp := sp.Child("dta")
+			// Per-pass plan-cost-cache effectiveness: analysis is serial
+			// inside Step, so before/after counter deltas belong to this run.
+			mreg := m.db.Metrics()
+			hitsBefore := mreg.Counter(costcache.DescHits).Value()
+			missesBefore := mreg.Counter(costcache.DescMisses).Value()
 			res, err := dta.Run(m.db, opts)
 			if err != nil && !errors.Is(err, dta.ErrAborted) {
 				dsp.Annotate("error", err)
@@ -312,6 +323,8 @@ func (cp *ControlPlane) analysisService() {
 			if res != nil {
 				cands = res.Recommendations
 				dsp.Annotate("whatif_calls", res.WhatIfCalls)
+				dsp.Annotate("cache_hits", mreg.Counter(costcache.DescHits).Value()-hitsBefore)
+				dsp.Annotate("cache_misses", mreg.Counter(costcache.DescMisses).Value()-missesBefore)
 				dsp.Annotate("aborted", res.Aborted)
 				cp.hub.Inc("dta.sessions", 1)
 				cp.hub.Inc("dta.whatif_calls", res.WhatIfCalls)

@@ -1,0 +1,41 @@
+package costcache
+
+import "autoindex/internal/metrics"
+
+// Cache self-instrumentation, registered in the process-wide catalog at
+// init time per the metrics discipline. All values are int64 counters
+// updated under the cache mutex; cache access is per-tenant serial, so
+// fleet totals are identical at any worker count.
+var (
+	// DescHits / DescMisses count lookups; their ratio is the headline
+	// effectiveness number the recommender-latency benchmark reports.
+	DescHits = metrics.NewCounterDesc("costcache.hits",
+		"plan-cost cache lookups served from the cache")
+	DescMisses = metrics.NewCounterDesc("costcache.misses",
+		"plan-cost cache lookups that fell through to the optimizer")
+	DescEvictions = metrics.NewCounterDesc("costcache.evictions",
+		"entries evicted by the LRU size bound")
+
+	// Invalidations are counted per triggering event, and only when the
+	// event actually dropped entries (an empty cache is a no-op).
+	DescInvalidationsStats = metrics.NewCounterDesc("costcache.invalidations_stats",
+		"non-empty cache flushes triggered by a statistics (re)build")
+	DescInvalidationsSchema = metrics.NewCounterDesc("costcache.invalidations_schema",
+		"non-empty cache flushes triggered by a schema change")
+	DescInvalidationsData = metrics.NewCounterDesc("costcache.invalidations_data",
+		"non-empty cache flushes triggered by a data-modifying statement")
+	DescInvalidatedEntries = metrics.NewCounterDesc("costcache.invalidated_entries",
+		"total entries dropped across all invalidation flushes")
+)
+
+// invalidationDesc maps a reason to its counter.
+func invalidationDesc(r Reason) *metrics.Desc {
+	switch r {
+	case StatsRefresh:
+		return DescInvalidationsStats
+	case SchemaChange:
+		return DescInvalidationsSchema
+	default:
+		return DescInvalidationsData
+	}
+}

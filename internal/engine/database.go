@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"autoindex/internal/btree"
+	"autoindex/internal/costcache"
 	"autoindex/internal/dmv"
 	"autoindex/internal/faults"
 	"autoindex/internal/metrics"
@@ -125,6 +126,17 @@ type Database struct {
 	indexes map[string]*indexData // lower(name)
 	colStat map[string]*stats.ColumnStats
 
+	// costCache memoizes what-if plan costs (see internal/costcache).
+	costCache *costcache.Cache
+	// dataVersion counts data-modifying statements; statsVersion records
+	// the data version each column statistic was built at, so a rebuild
+	// over unchanged data can be skipped (the name-keyed stats RNG stream
+	// makes the rebuild bit-identical anyway).
+	dataVersion  int64
+	statsVersion map[string]int64
+	// statsRefreshHook, when set, observes every real statistics rebuild.
+	statsRefreshHook func(table, column string)
+
 	qs      *querystore.Store
 	miDMV   *dmv.MissingIndexStore
 	usage   *dmv.IndexUsageStore
@@ -163,20 +175,22 @@ func New(cfg Config, clock sim.Clock) *Database {
 	}
 	rng := sim.NewRNG(cfg.Seed).Child("engine/" + cfg.Name)
 	return &Database{
-		cfg:         cfg,
-		clock:       clock,
-		rng:         rng,
-		noise:       sim.NewNoise(rng, cfg.NoiseCV),
-		tables:      make(map[string]*tableData),
-		indexes:     make(map[string]*indexData),
-		colStat:     make(map[string]*stats.ColumnStats),
-		qs:          querystore.New(clock, cfg.QueryStoreInterval),
-		miDMV:       dmv.NewMissingIndexStore(),
-		usage:       dmv.NewIndexUsageStore(),
-		locks:       NewLockManager(clock),
-		planTxt:     make(map[uint64]string),
-		bulkSources: make(map[string]BulkSource),
-		modules:     newModuleCatalog(),
+		cfg:          cfg,
+		clock:        clock,
+		rng:          rng,
+		noise:        sim.NewNoise(rng, cfg.NoiseCV),
+		tables:       make(map[string]*tableData),
+		indexes:      make(map[string]*indexData),
+		colStat:      make(map[string]*stats.ColumnStats),
+		costCache:    costcache.New(0, clock),
+		statsVersion: make(map[string]int64),
+		qs:           querystore.New(clock, cfg.QueryStoreInterval),
+		miDMV:        dmv.NewMissingIndexStore(),
+		usage:        dmv.NewIndexUsageStore(),
+		locks:        NewLockManager(clock),
+		planTxt:      make(map[uint64]string),
+		bulkSources:  make(map[string]BulkSource),
+		modules:      newModuleCatalog(),
 	}
 }
 
@@ -233,9 +247,29 @@ func (d *Database) faultInjector() *faults.Injector {
 // to disable. Safe to call concurrently with running statements.
 func (d *Database) SetMetrics(reg *metrics.Registry) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.reg = reg
+	d.mu.Unlock()
+	d.costCache.SetMetrics(reg)
 }
+
+// PlanCostCache returns the database's plan-cost cache. What-if sessions
+// read and fill it; the engine invalidates it on stats refresh, schema
+// change, and data change.
+func (d *Database) PlanCostCache() *costcache.Cache { return d.costCache }
+
+// SetStatsRefreshHook installs an observer called after every real
+// (non-skipped) statistics rebuild; the control plane uses it to count
+// stats-driven cache invalidations per tenant. Pass nil to remove.
+func (d *Database) SetStatsRefreshHook(h func(table, column string)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.statsRefreshHook = h
+}
+
+// DeriveRNG derives a named child stream from the database's root RNG.
+// Name-keyed derivation means a new consumer never perturbs the draws of
+// existing ones — workload compression samples from such a stream.
+func (d *Database) DeriveRNG(name string) *sim.RNG { return d.rng.Child(name) }
 
 // Metrics reads the attached registry (nil when metrics are off).
 func (d *Database) Metrics() *metrics.Registry {
@@ -280,6 +314,7 @@ func (d *Database) ExecCount() int64 {
 func (d *Database) noteSchemaChange() {
 	d.schemaChanges++
 	d.miDMV.Reset()
+	d.costCache.Invalidate(costcache.SchemaChange)
 }
 
 // ---- table & index storage ----
@@ -393,7 +428,6 @@ func (d *Database) Indexes(table string) []optimizer.IndexInfo {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
-	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
 	return out
 }
 
@@ -436,7 +470,11 @@ func maxF(a, b float64) float64 {
 	return b
 }
 
-// rebuildColumnStats builds sampled statistics for a column.
+// rebuildColumnStats builds sampled statistics for a column. A rebuild
+// over data unchanged since the last build is skipped: the stats RNG
+// stream is name-keyed (derived fresh per build), so re-running it would
+// produce a bit-identical statistic while needlessly flushing the
+// plan-cost cache.
 func (d *Database) rebuildColumnStats(table, column string) (*stats.ColumnStats, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -448,6 +486,10 @@ func (d *Database) rebuildColumnStats(table, column string) (*stats.ColumnStats,
 	if ord < 0 {
 		return nil, false
 	}
+	key := statKey(table, column)
+	if st, ok2 := d.colStat[key]; ok2 && st != nil && d.statsVersion[key] == d.dataVersion {
+		return st, true
+	}
 	vals := make([]value.Value, 0, t.rowCount)
 	collect := func(row value.Row) { vals = append(vals, row[ord]) }
 	if t.heap != nil {
@@ -456,7 +498,12 @@ func (d *Database) rebuildColumnStats(table, column string) (*stats.ColumnStats,
 		t.clustered.Ascend(func(e btree.Entry) bool { collect(e.Payload); return true })
 	}
 	st := stats.BuildSampled(column, vals, d.cfg.StatsSampleRate, d.rng.Child("stats/"+table+"/"+column), d.clock.Now())
-	d.colStat[statKey(table, column)] = st
+	d.colStat[key] = st
+	d.statsVersion[key] = d.dataVersion
+	d.costCache.Invalidate(costcache.StatsRefresh)
+	if d.statsRefreshHook != nil {
+		d.statsRefreshHook(t.def.Name, column)
+	}
 	return st, true
 }
 

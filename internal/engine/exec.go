@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"autoindex/internal/btree"
+	"autoindex/internal/costcache"
 	"autoindex/internal/dmv"
 	"autoindex/internal/executor"
 	"autoindex/internal/optimizer"
@@ -75,9 +76,18 @@ func (d *Database) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	d.mu.Lock()
 	res, err := d.run(plan, stmt, meter)
 	d.execCount++
+	dataChanged := err == nil && res.RowsAffected > 0
+	if dataChanged {
+		d.dataVersion++
+	}
 	d.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if dataChanged {
+		// Row counts feed plan costs directly (before any stats refresh),
+		// so cached what-if pricings are stale the moment data moves.
+		d.costCache.Invalidate(costcache.DataChange)
 	}
 	res.Plan = plan
 	res.Measured = d.measure(meter, blockedWait)
@@ -130,10 +140,13 @@ func (d *Database) measure(m *executor.Meter, blocked time.Duration) querystore.
 	}
 }
 
-// record writes the execution into Query Store and the plan cache.
+// record writes the execution into Query Store and the plan cache. The
+// query hash comes from the plan (computed once per optimization) so
+// ingestion, the MI DMVs, and the plan-cost cache all share one canonical
+// fingerprint.
 func (d *Database) record(stmt sqlparser.Statement, plan *optimizer.Plan, m querystore.Measurement) {
 	text := stmt.SQL()
-	qhash := stmt.Fingerprint()
+	qhash := plan.QueryHash
 	d.mu.Lock()
 	d.planTxt[qhash] = text
 	d.mu.Unlock()
@@ -142,7 +155,13 @@ func (d *Database) record(stmt sqlparser.Statement, plan *optimizer.Plan, m quer
 		text = text[:d.cfg.TruncateTextOver]
 		truncated = true
 	}
-	d.qs.Record(qhash, text, truncated, sqlparser.IsWrite(stmt), querystore.PlanInfo{
+	isWrite := sqlparser.IsWrite(stmt)
+	d.qs.Record(qhash, querystore.QueryMeta{
+		Text:               text,
+		Truncated:          truncated,
+		IsWrite:            isWrite,
+		HasWritePredicates: isWrite && len(sqlparser.WritePredicates(stmt)) > 0,
+	}, querystore.PlanInfo{
 		PlanHash:    plan.PlanHash,
 		IndexesUsed: append([]string(nil), plan.IndexesUsed...),
 	}, m)

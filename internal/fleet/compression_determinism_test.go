@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/querystore"
+)
+
+// compressionSamples builds the standard fleet at the given worker count,
+// replays its workload, and renders every tenant's compressed workload
+// sample as one string.
+func compressionSamples(t *testing.T, workers int) string {
+	t.Helper()
+	spec := Spec{Databases: 4, MixedTiers: true, Seed: 20170301, UserIndexes: true, Workers: workers}
+	f, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOpsConfig()
+	cfg.Days = 2
+	cfg.StatementsPerHour = 12
+	cfg.NewTenantEvery = 0
+	if _, err := f.RunOps(Spec{Seed: spec.Seed, UserIndexes: true}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tn := range f.Tenants {
+		since := tn.DB.Clock().Now().Add(-48 * time.Hour)
+		sample := tn.DB.QueryStore().CompressedTopByCPU(since, 20, querystore.CompressionOptions{
+			Rand: tn.DB.DeriveRNG("dta/compress"),
+		})
+		fmt.Fprintf(&b, "tenant=%s n=%d\n", tn.DB.Name(), len(sample))
+		for _, q := range sample {
+			fmt.Fprintf(&b, "  hash=%d execs=%d cpu=%.6f weight=%.6f\n",
+				q.QueryHash, q.Executions, q.TotalCPU, q.Weight)
+		}
+	}
+	return b.String()
+}
+
+// TestCompressedWorkloadDeterministicAcrossWorkers pins the compression
+// sampler's determinism contract: the weighted representative sample a
+// tenant's recommender sees derives only from that tenant's Query Store
+// and its own name-keyed RNG stream, so the sampled hashes and weights
+// are byte-identical whether the fleet ran on one worker or eight.
+func TestCompressedWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation is slow")
+	}
+	s1 := compressionSamples(t, 1)
+	s8 := compressionSamples(t, 8)
+	if s1 != s8 {
+		t.Errorf("compressed workload sample differs between -workers 1 and -workers 8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", s1, s8)
+	}
+	if !strings.Contains(s1, "hash=") {
+		t.Fatal("no sampled queries; workload replay produced an empty Query Store")
+	}
+}

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"autoindex/internal/recommend/dta"
+)
+
+// benchTuneSpec is the standard fleet scenario the recommender-latency
+// benchmark and its what-if-call accounting both run against.
+func benchTuneSpec(workers int) (Spec, OpsConfig) {
+	spec := Spec{Databases: 4, MixedTiers: true, Seed: 20170301, UserIndexes: true, Workers: workers}
+	cfg := DefaultOpsConfig()
+	cfg.Days = 2
+	cfg.StatementsPerHour = 10
+	cfg.NewTenantEvery = 0
+	cfg.AutoImplementFraction = 0
+	// Warm the query stores without letting the control plane tune: the
+	// benchmark times the recommender sweep itself, once per tenant.
+	cfg.Plane.AnalyzeEvery = 1_000_000 * time.Hour
+	return spec, cfg
+}
+
+// buildWarmFleet constructs the scenario fleet and replays its workload so
+// every tenant's Query Store holds the same statements on every call.
+func buildWarmFleet(b *testing.B, workers int) *Fleet {
+	b.Helper()
+	spec, cfg := benchTuneSpec(workers)
+	f, err := Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.RunOps(Spec{Seed: spec.Seed, UserIndexes: true}, cfg); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// tuneFleet runs one DTA pass per tenant across the worker pool and
+// returns the summed optimizer what-if call count. accelerate toggles the
+// whole costing acceleration stack (plan-cost cache, upper-bound pruning,
+// workload compression) against the exact uncompressed baseline.
+func tuneFleet(b *testing.B, f *Fleet, workers int, accelerate bool) int64 {
+	b.Helper()
+	calls := make([]int64, len(f.Tenants))
+	errs := make([]error, len(f.Tenants))
+	forEach(workers, len(f.Tenants), func(i int) {
+		tn := f.Tenants[i]
+		opts := dta.OptionsForTier(tn.DB.Tier())
+		opts.MaxWhatIfCalls = 0 // count honestly, never clamp either arm
+		if !accelerate {
+			opts.DisableCostCache = true
+			opts.DisablePruning = true
+			opts.CompressWorkload = false
+		}
+		res, err := dta.Run(tn.DB, opts)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		calls[i] = res.WhatIfCalls
+	})
+	var total int64
+	for i := range f.Tenants {
+		if errs[i] != nil {
+			b.Fatal(errs[i])
+		}
+		total += calls[i]
+	}
+	return total
+}
+
+// BenchmarkRecommenderLatency measures a full accelerated recommender
+// sweep (fleet build + workload replay + one DTA pass per tenant) at
+// several worker counts, and records alongside the timings how many
+// optimizer what-if calls the acceleration layer saved against the exact
+// uncached, unpruned, uncompressed path. Results land in
+// BENCH_recommender.json at the repo root, gated by cmd/benchdiff in CI
+// exactly like BENCH_fleet.json.
+func BenchmarkRecommenderLatency(b *testing.B) {
+	type timing struct {
+		Workers  int     `json:"workers"`
+		NsPerOp  int64   `json:"ns_per_op"`
+		SecPerOp float64 `json:"sec_per_op"`
+	}
+	workerSet := []int{1, 4, 8}
+	latest := make(map[int]timing)
+	for _, w := range workerSet {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(sb *testing.B) {
+			start := time.Now()
+			for i := 0; i < sb.N; i++ {
+				f := buildWarmFleet(sb, w)
+				tuneFleet(sb, f, w, true)
+			}
+			per := time.Since(start).Nanoseconds() / int64(sb.N)
+			latest[w] = timing{Workers: w, NsPerOp: per, SecPerOp: float64(per) / 1e9}
+		})
+	}
+	if len(latest) == 0 {
+		return
+	}
+
+	// What-if call accounting, measured once on fresh identical fleets so
+	// neither arm sees the other's sampled statistics or cache state.
+	accel := tuneFleet(b, buildWarmFleet(b, 1), 1, true)
+	uncached := tuneFleet(b, buildWarmFleet(b, 1), 1, false)
+	reduction := 0.0
+	if accel > 0 {
+		reduction = float64(uncached) / float64(accel)
+	}
+	b.Logf("whatif calls: accelerated=%d uncached=%d reduction=%.2fx", accel, uncached, reduction)
+	if reduction < 2 {
+		b.Errorf("acceleration layer saved only %.2fx what-if calls, want >= 2x", reduction)
+	}
+
+	timings := make([]timing, 0, len(latest))
+	for _, w := range workerSet {
+		if t, ok := latest[w]; ok {
+			timings = append(timings, t)
+		}
+	}
+	report := map[string]any{
+		"benchmark":                "BenchmarkRecommenderLatency",
+		"workload":                 "Build(4 mixed-tier tenants) + RunOps(2 days, 10 stmts/hour) + one DTA pass per tenant",
+		"num_cpu":                  runtime.NumCPU(),
+		"gomaxprocs":               runtime.GOMAXPROCS(0),
+		"whatif_calls_accelerated": accel,
+		"whatif_calls_uncached":    uncached,
+		"whatif_call_reduction":    reduction,
+		"timings":                  timings,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_recommender.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not write BENCH_recommender.json: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package optimizer
+
+import (
+	"strings"
+
+	"autoindex/internal/schema"
+	"autoindex/internal/sqlparser"
+)
+
+// Configuration is one hypothetical index set to price a statement under.
+// An empty Add prices the statement against the unmodified catalog.
+type Configuration struct {
+	Add []schema.IndexDef
+}
+
+// ConfigCost is the result of pricing one Configuration in a batch.
+type ConfigCost struct {
+	Cost float64
+	Plan *Plan
+	// Skipped marks a configuration the batch did not price because the
+	// optimizer-call budget ran out; Cost and Plan are zero.
+	Skipped bool
+}
+
+// CostConfigurations prices stmt under each configuration, in order,
+// sharing one binding of the batch so candidate enumeration makes one
+// API round-trip instead of len(configs). Two shortcuts keep optimizer
+// calls down:
+//
+//   - configurations whose added indexes touch no table of the base plan
+//     inherit the base result without replanning (an index on a table the
+//     statement never reads cannot change its plan), where "base" is the
+//     first empty Configuration in the batch — put it at configs[0] to
+//     benefit;
+//   - once o.Calls() reaches maxCalls (0 = unlimited), remaining
+//     configurations are returned as Skipped rather than priced, so a
+//     budget boundary never silently truncates the result slice.
+//
+// A statement error (e.g. ErrWhatIfUnsupported) fails the whole batch.
+func (o *Optimizer) CostConfigurations(stmt sqlparser.Statement, configs []Configuration, maxCalls int64) ([]ConfigCost, error) {
+	cat, ok := o.Cat.(*WhatIfCatalog)
+	if !ok {
+		orig := o.Cat
+		cat = NewWhatIfCatalog(orig)
+		o.Cat = cat
+		defer func() { o.Cat = orig }()
+	}
+	out := make([]ConfigCost, len(configs))
+	var base *ConfigCost
+	var baseTables map[string]bool
+	for i, cfg := range configs {
+		if base != nil && len(cfg.Add) > 0 && irrelevantTo(cfg.Add, baseTables) {
+			out[i] = *base
+			continue
+		}
+		if maxCalls > 0 && o.Calls() >= maxCalls {
+			out[i].Skipped = true
+			continue
+		}
+		for _, d := range cfg.Add {
+			cat.AddHypothetical(d)
+		}
+		cost, plan, err := o.CostStatement(stmt)
+		for _, d := range cfg.Add {
+			cat.RemoveHypothetical(d.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ConfigCost{Cost: cost, Plan: plan}
+		if base == nil && len(cfg.Add) == 0 {
+			base = &out[i]
+			baseTables = planTables(plan)
+		}
+	}
+	return out, nil
+}
+
+// irrelevantTo reports whether none of the added indexes is on a table the
+// base plan touches.
+func irrelevantTo(add []schema.IndexDef, tables map[string]bool) bool {
+	for _, d := range add {
+		if tables[strings.ToLower(d.Table)] {
+			return false
+		}
+	}
+	return true
+}
+
+// planTables collects the lowercased names of every table the plan
+// references, including write targets (index maintenance on the written
+// table is part of a write's cost).
+func planTables(p *Plan) map[string]bool {
+	tables := make(map[string]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Table != "" {
+			tables[strings.ToLower(n.Table)] = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return tables
+}

@@ -12,6 +12,7 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"autoindex/internal/schema"
@@ -93,6 +94,10 @@ type WhatIfCatalog struct {
 	excluded map[string]bool
 	// Calls counts catalog planning uses for resource accounting.
 	Calls int64
+
+	// sig memoizes ConfigSignature; sigValid is cleared by every mutator.
+	sig      string
+	sigValid bool
 }
 
 // NewWhatIfCatalog returns an overlay over base.
@@ -111,6 +116,7 @@ func (w *WhatIfCatalog) AddHypothetical(def schema.IndexDef) {
 	def.Hypothetical = true
 	k := strings.ToLower(def.Table)
 	w.hypo[k] = append(w.hypo[k], def)
+	w.sigValid = false
 }
 
 // RemoveHypothetical removes a previously added hypothetical index by name.
@@ -124,16 +130,64 @@ func (w *WhatIfCatalog) RemoveHypothetical(name string) {
 		}
 		w.hypo[k] = out
 	}
+	w.sigValid = false
 }
 
 // ClearHypothetical removes all hypothetical indexes.
 func (w *WhatIfCatalog) ClearHypothetical() {
 	w.hypo = make(map[string][]schema.IndexDef)
+	w.sigValid = false
 }
 
 // Exclude hides an existing index from planning.
 func (w *WhatIfCatalog) Exclude(indexName string) {
 	w.excluded[strings.ToLower(indexName)] = true
+	w.sigValid = false
+}
+
+// ConfigSignature canonically describes the overlay: the sorted
+// hypothetical index definitions (name plus structural signature — the
+// name matters because cached plans reference indexes by name) and the
+// sorted excluded set. Two catalogs with equal signatures plan every
+// statement identically over the same base catalog, which is what lets
+// the plan-cost cache key on it. The result is memoized until the next
+// mutation.
+func (w *WhatIfCatalog) ConfigSignature() string {
+	if w.sigValid {
+		return w.sig
+	}
+	w.sig = w.signature(nil)
+	w.sigValid = true
+	return w.sig
+}
+
+// ConfigSignatureWith returns the signature the catalog would have if add
+// were also present, without mutating the overlay — the plan-cost cache
+// uses it to probe batched configurations before adding anything.
+func (w *WhatIfCatalog) ConfigSignatureWith(add []schema.IndexDef) string {
+	if len(add) == 0 {
+		return w.ConfigSignature()
+	}
+	return w.signature(add)
+}
+
+func (w *WhatIfCatalog) signature(extra []schema.IndexDef) string {
+	var adds []string
+	for _, defs := range w.hypo {
+		for _, d := range defs {
+			adds = append(adds, strings.ToLower(d.Name)+"|"+d.Signature())
+		}
+	}
+	for _, d := range extra {
+		adds = append(adds, strings.ToLower(d.Name)+"|"+d.Signature())
+	}
+	sort.Strings(adds)
+	excl := make([]string, 0, len(w.excluded))
+	for name := range w.excluded {
+		excl = append(excl, name)
+	}
+	sort.Strings(excl)
+	return "+" + strings.Join(adds, ";") + "/-" + strings.Join(excl, ";")
 }
 
 // Table implements Catalog.

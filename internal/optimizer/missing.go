@@ -41,7 +41,7 @@ func (o *Optimizer) emitMissingIndexes(stmt sqlparser.Statement, p *Plan) {
 			return
 		}
 	}
-	queryHash := stmt.Fingerprint()
+	queryHash := p.QueryHash
 	totalCost := math.Max(p.EstCost, 1e-9)
 	var walk func(n *Node)
 	walk = func(n *Node) {

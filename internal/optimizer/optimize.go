@@ -75,6 +75,9 @@ func (o *Optimizer) Plan(stmt sqlparser.Statement) (*Plan, error) {
 	}
 	p := &Plan{Stmt: stmt, Root: root}
 	p.finalize()
+	if !o.WhatIfMode {
+		p.QueryHash = stmt.Fingerprint()
+	}
 	if o.MI != nil && !o.WhatIfMode {
 		o.emitMissingIndexes(stmt, p)
 	}

@@ -130,6 +130,11 @@ type Plan struct {
 	// fingerprint that the validator's plan-change filter inspects.
 	IndexesUsed []string
 	PlanHash    uint64
+	// QueryHash is the canonical statement fingerprint, computed once per
+	// regular (non-what-if) optimization so Query Store ingestion and MI
+	// emission share one derivation. Zero for what-if plans, which are
+	// keyed externally by the plan-cost cache.
+	QueryHash uint64
 }
 
 // shape serialises the plan's structure (operators, tables, indexes — not

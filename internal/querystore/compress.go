@@ -1,0 +1,135 @@
+package querystore
+
+import (
+	"sort"
+	"time"
+
+	"autoindex/internal/sim"
+)
+
+// Workload compression (see ARCHITECTURE.md "Costing path"): instead of
+// costing every Query Store template, recommenders can cost a weighted
+// representative sample — the heavy-hitter head that covers most of the
+// observed CPU, plus a small probability-proportional-to-size sample of
+// the tail whose weights rescale it back to the tail's true total. The
+// estimate of total workload cost stays unbiased in expectation while the
+// number of templates (and therefore what-if optimizer calls) drops to a
+// small constant.
+
+// Compression defaults: cover 85% of CPU exactly, sample 4 tail templates.
+const (
+	DefaultCompressionCoverage    = 0.85
+	DefaultCompressionTailSamples = 4
+)
+
+// CompressionOptions tunes CompressedTopByCPU.
+type CompressionOptions struct {
+	// TargetCoverage is the fraction of total CPU the exact head must
+	// cover before sampling starts; <= 0 uses DefaultCompressionCoverage.
+	TargetCoverage float64
+	// TailSamples is how many tail templates to sample; <= 0 uses
+	// DefaultCompressionTailSamples.
+	TailSamples int
+	// Rand draws the tail sample. It must be a deterministic, name-keyed
+	// stream derived from the tenant's seed (e.g. db.DeriveRNG) so the
+	// sample is identical at any fleet worker count. nil keeps the exact
+	// head only.
+	Rand *sim.RNG
+}
+
+// WeightedQuery is one compressed-workload member: Weight scales its
+// observed executions and CPU so that sums over the sample estimate sums
+// over the full store (head entries have Weight 1; sampled tail entries
+// carry the tail's total-to-sampled CPU ratio).
+type WeightedQuery struct {
+	QueryCost
+	Weight float64
+}
+
+// CompressedTopByCPU returns a weighted representative sample of the
+// workload since from, at most k entries (k <= 0 means unbounded): the
+// most expensive templates until opts.TargetCoverage of total CPU is
+// covered exactly, then opts.TailSamples drawn from the remainder with
+// probability proportional to CPU, weighted to preserve the tail's total.
+// The result is sorted by TotalCPU descending (query hash as tie-break),
+// the same order TopByCPU produces.
+func (s *Store) CompressedTopByCPU(from time.Time, k int, opts CompressionOptions) []WeightedQuery {
+	if opts.TargetCoverage <= 0 {
+		opts.TargetCoverage = DefaultCompressionCoverage
+	}
+	if opts.TailSamples <= 0 {
+		opts.TailSamples = DefaultCompressionTailSamples
+	}
+	all := s.TopByCPU(from, 0)
+	total := 0.0
+	for _, c := range all {
+		total += c.TotalCPU
+	}
+
+	// Exact head: heaviest templates until the coverage target, leaving
+	// room in k for the tail sample.
+	headMax := len(all)
+	if k > 0 {
+		headMax = k - opts.TailSamples
+		if headMax < 1 {
+			headMax = 1
+		}
+	}
+	covered := 0.0
+	head := 0
+	for head < len(all) && head < headMax {
+		if total > 0 && covered >= opts.TargetCoverage*total {
+			break
+		}
+		covered += all[head].TotalCPU
+		head++
+	}
+	out := make([]WeightedQuery, 0, head+opts.TailSamples)
+	for _, c := range all[:head] {
+		out = append(out, WeightedQuery{QueryCost: c, Weight: 1})
+	}
+
+	// Tail sample: without replacement, proportional to CPU, rescaled so
+	// the sampled entries stand in for the whole tail's CPU.
+	tail := all[head:]
+	if len(tail) > 0 && opts.Rand != nil {
+		tailTotal := total - covered
+		n := opts.TailSamples
+		if n > len(tail) {
+			n = len(tail)
+		}
+		remaining := append([]QueryCost(nil), tail...)
+		remTotal := tailTotal
+		var sampled []QueryCost
+		sampledTotal := 0.0
+		for i := 0; i < n && remTotal > 0; i++ {
+			x := opts.Rand.Float64() * remTotal
+			pick := len(remaining) - 1
+			for j, c := range remaining {
+				x -= c.TotalCPU
+				if x < 0 {
+					pick = j
+					break
+				}
+			}
+			c := remaining[pick]
+			sampled = append(sampled, c)
+			sampledTotal += c.TotalCPU
+			remTotal -= c.TotalCPU
+			remaining = append(remaining[:pick], remaining[pick+1:]...)
+		}
+		if sampledTotal > 0 {
+			w := tailTotal / sampledTotal
+			for _, c := range sampled {
+				out = append(out, WeightedQuery{QueryCost: c, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalCPU != out[j].TotalCPU {
+			return out[i].TotalCPU > out[j].TotalCPU
+		}
+		return out[i].QueryHash < out[j].QueryHash
+	})
+	return out
+}

@@ -117,7 +117,11 @@ type QueryEntry struct {
 	Text      string
 	Truncated bool
 	IsWrite   bool
-	Plans     map[uint64]*PlanEntry
+	// HasWritePredicates marks writes with a WHERE clause — the only
+	// writes whose read side an index can help. Recorded at ingestion so
+	// recommenders never re-parse stored text to find out.
+	HasWritePredicates bool
+	Plans              map[uint64]*PlanEntry
 }
 
 // sortedPlans returns the query's plans in ascending plan-hash order.
@@ -178,8 +182,18 @@ func (s *Store) DroppedExecutions() int64 {
 	return s.dropped
 }
 
+// QueryMeta carries the per-template attributes Record stores on first
+// sight of a query: its (possibly truncated) text and the statement-class
+// flags derived from the parsed statement at ingestion time.
+type QueryMeta struct {
+	Text               string
+	Truncated          bool
+	IsWrite            bool
+	HasWritePredicates bool
+}
+
 // Record folds one execution into the store.
-func (s *Store) Record(queryHash uint64, text string, truncated, isWrite bool, plan PlanInfo, m Measurement) {
+func (s *Store) Record(queryHash uint64, meta QueryMeta, plan PlanInfo, m Measurement) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dropper != nil && s.dropper() {
@@ -188,11 +202,18 @@ func (s *Store) Record(queryHash uint64, text string, truncated, isWrite bool, p
 	}
 	q := s.queries[queryHash]
 	if q == nil {
-		q = &QueryEntry{QueryHash: queryHash, Text: text, Truncated: truncated, IsWrite: isWrite, Plans: make(map[uint64]*PlanEntry)}
+		q = &QueryEntry{
+			QueryHash:          queryHash,
+			Text:               meta.Text,
+			Truncated:          meta.Truncated,
+			IsWrite:            meta.IsWrite,
+			HasWritePredicates: meta.HasWritePredicates,
+			Plans:              make(map[uint64]*PlanEntry),
+		}
 		s.queries[queryHash] = q
-	} else if q.Truncated && !truncated {
+	} else if q.Truncated && !meta.Truncated {
 		// A later execution supplied the full text.
-		q.Text, q.Truncated = text, false
+		q.Text, q.Truncated = meta.Text, false
 	}
 	now := s.clock.Now()
 	p := q.Plans[plan.PlanHash]
@@ -237,13 +258,14 @@ func (s *Store) QueryHashes() []uint64 {
 
 // QueryCost summarises one query's resource consumption over a window.
 type QueryCost struct {
-	QueryHash  uint64
-	Text       string
-	Truncated  bool
-	IsWrite    bool
-	Executions int64
-	TotalCPU   float64
-	TotalReads float64
+	QueryHash          uint64
+	Text               string
+	Truncated          bool
+	IsWrite            bool
+	HasWritePredicates bool
+	Executions         int64
+	TotalCPU           float64
+	TotalReads         float64
 }
 
 // TopByCPU returns the k most expensive queries by total CPU over
@@ -264,7 +286,7 @@ func (s *Store) Costs(from time.Time) []QueryCost {
 	to := s.clock.Now().Add(time.Nanosecond)
 	var out []QueryCost
 	for _, q := range s.queries {
-		c := QueryCost{QueryHash: q.QueryHash, Text: q.Text, Truncated: q.Truncated, IsWrite: q.IsWrite}
+		c := QueryCost{QueryHash: q.QueryHash, Text: q.Text, Truncated: q.Truncated, IsWrite: q.IsWrite, HasWritePredicates: q.HasWritePredicates}
 		for _, p := range q.sortedPlans() {
 			for _, iv := range p.window(from, to) {
 				c.Executions += iv.Count

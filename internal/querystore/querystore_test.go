@@ -9,7 +9,7 @@ import (
 
 func record(s *Store, qh, ph uint64, cpu float64, n int) {
 	for i := 0; i < n; i++ {
-		s.Record(qh, "SELECT x", false, false,
+		s.Record(qh, QueryMeta{Text: "SELECT x"},
 			PlanInfo{PlanHash: ph, IndexesUsed: []string{"ix1"}},
 			Measurement{CPUMillis: cpu, LogicalReads: cpu * 2, DurationMillis: cpu * 3})
 	}
@@ -87,10 +87,10 @@ func TestWindowingExcludesOutside(t *testing.T) {
 func TestPlanChangeTracking(t *testing.T) {
 	clock := sim.NewClock()
 	s := New(clock, time.Hour)
-	s.Record(7, "q", false, false, PlanInfo{PlanHash: 1, IndexesUsed: nil}, Measurement{CPUMillis: 10})
+	s.Record(7, QueryMeta{Text: "q"}, PlanInfo{PlanHash: 1, IndexesUsed: nil}, Measurement{CPUMillis: 10})
 	clock.Advance(2 * time.Hour)
 	cut := clock.Now()
-	s.Record(7, "q", false, false, PlanInfo{PlanHash: 2, IndexesUsed: []string{"IX_new"}}, Measurement{CPUMillis: 3})
+	s.Record(7, QueryMeta{Text: "q"}, PlanInfo{PlanHash: 2, IndexesUsed: []string{"IX_new"}}, Measurement{CPUMillis: 3})
 
 	afterPlans := s.PlansInWindow(7, cut, clock.Now().Add(time.Hour))
 	if len(afterPlans) != 1 || afterPlans[0].Info.PlanHash != 2 {
@@ -111,12 +111,12 @@ func TestPlanChangeTracking(t *testing.T) {
 func TestTruncationUpgrade(t *testing.T) {
 	clock := sim.NewClock()
 	s := New(clock, time.Hour)
-	s.Record(5, "SELECT partial...", true, false, PlanInfo{PlanHash: 1}, Measurement{})
+	s.Record(5, QueryMeta{Text: "SELECT partial...", Truncated: true}, PlanInfo{PlanHash: 1}, Measurement{})
 	q, _ := s.Query(5)
 	if !q.Truncated {
 		t.Fatal("should be truncated")
 	}
-	s.Record(5, "SELECT full FROM t", false, false, PlanInfo{PlanHash: 1}, Measurement{})
+	s.Record(5, QueryMeta{Text: "SELECT full FROM t"}, PlanInfo{PlanHash: 1}, Measurement{})
 	q, _ = s.Query(5)
 	if q.Truncated || q.Text != "SELECT full FROM t" {
 		t.Fatalf("full text should win: %+v", q)
@@ -126,7 +126,7 @@ func TestTruncationUpgrade(t *testing.T) {
 func TestMetricsIndependent(t *testing.T) {
 	clock := sim.NewClock()
 	s := New(clock, time.Hour)
-	s.Record(1, "q", false, true, PlanInfo{PlanHash: 1}, Measurement{CPUMillis: 5, LogicalReads: 100, DurationMillis: 20})
+	s.Record(1, QueryMeta{Text: "q", IsWrite: true}, PlanInfo{PlanHash: 1}, Measurement{CPUMillis: 5, LogicalReads: 100, DurationMillis: 20})
 	end := clock.Now().Add(time.Hour)
 	cpu, _ := s.QueryWindowSample(1, MetricCPU, time.Time{}, end)
 	reads, _ := s.QueryWindowSample(1, MetricLogicalReads, time.Time{}, end)

@@ -1,7 +1,8 @@
 package dta
 
 import (
-	"errors"
+	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -138,10 +139,11 @@ func analyzeStatement(db *engine.Database, stmt sqlparser.Statement) map[string]
 	return out
 }
 
-// candidatesForStatement generates and screens index candidates for one
-// statement using the what-if API: a candidate survives only if it
-// reduces this statement's estimated cost.
-func candidatesForStatement(db *engine.Database, stmt sqlparser.Statement, opts Options, session *engine.WhatIfSession) []core.Candidate {
+// candidateDefs derives the candidate index shapes for one statement
+// from its column-usage analysis. Pure analysis: it never touches the
+// what-if session, so all sampled statistics can be built before any
+// candidate is costed.
+func candidateDefs(db *engine.Database, stmt sqlparser.Statement, opts Options) []schema.IndexDef {
 	analyses := analyzeStatement(db, stmt)
 	// Visit tables in sorted order: candidate order decides which shapes
 	// are costed before the session's what-if budget runs out, so map
@@ -160,44 +162,40 @@ func candidatesForStatement(db *engine.Database, stmt sqlparser.Statement, opts 
 		}
 		defs = append(defs, candidateShapes(t, a, opts)...)
 	}
+	return defs
+}
+
+// screenCandidates prices one statement's candidate shapes in a single
+// batched what-if round-trip (base configuration first, then one
+// configuration per shape) and keeps the shapes that reduce this
+// statement's estimated cost and actually appear in its plan.
+func screenCandidates(db *engine.Database, ts tunedStatement, defs []schema.IndexDef, session *engine.WhatIfSession) []core.Candidate {
 	if len(defs) == 0 {
 		return nil
 	}
-
-	// Sampled statistics for candidate columns (charged to the session).
-	// With ReduceSampledStats only key columns get statistics; otherwise
-	// every referenced column does (2–3x more, §5.3.1).
+	configs := make([]optimizer.Configuration, 0, len(defs)+1)
+	configs = append(configs, optimizer.Configuration{})
 	for _, def := range defs {
-		cols := def.KeyColumns
-		if !opts.ReduceSampledStats {
-			cols = def.AllColumns()
-		}
-		for _, c := range cols {
-			session.CreateSampledStats(def.Table, c)
-		}
+		configs = append(configs, optimizer.Configuration{Add: []schema.IndexDef{def}})
 	}
-
-	base, _, err := session.Cost(stmt)
-	if err != nil {
+	results, err := session.CostConfigurations(ts.hash, ts.stmt, configs)
+	if err != nil || results[0].Skipped {
 		return nil
 	}
+	base := results[0].Cost
 	var out []core.Candidate
-	for _, def := range defs {
-		session.Catalog().AddHypothetical(def)
-		cost, plan, err := session.Cost(stmt)
-		session.Catalog().RemoveHypothetical(def.Name)
-		if err != nil {
-			if errors.Is(err, engine.ErrWhatIfBudget) {
-				break
-			}
-			continue
+	for j, def := range defs {
+		r := results[j+1]
+		if r.Skipped {
+			// Budget ran out mid-batch; later shapes were never priced.
+			break
 		}
-		improvement := base - cost
+		improvement := base - r.Cost
 		if improvement <= base*0.01 || improvement <= 0 {
 			continue
 		}
 		used := false
-		for _, ix := range plan.IndexesUsed {
+		for _, ix := range r.Plan.IndexesUsed {
 			if strings.EqualFold(ix, def.Name) {
 				used = true
 				break
@@ -326,30 +324,27 @@ func mergeCols(a, b []string) []string {
 	return out
 }
 
-// dtaIndexName derives a deterministic name from the index shape.
+// dtaIndexName derives a deterministic, collision-free name from the
+// index shape. The include-column content is folded in as a short hash,
+// not just a count: hypothetical indexes are removed from the what-if
+// catalog by name, so two distinct shapes sharing a name would let one
+// candidate's evaluation silently drop another — or an already-chosen
+// index — from the configuration mid-enumeration.
 func dtaIndexName(table string, keys, include []string) string {
-	name := "auto_dta_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(keys, "_"))
+	base := "auto_dta_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(keys, "_"))
+	suffix := ""
 	if len(include) > 0 {
-		name += "_i" + itoa(len(include))
+		h := fnv.New64a()
+		for _, c := range include {
+			h.Write([]byte(strings.ToLower(c)))
+			h.Write([]byte{0})
+		}
+		suffix = fmt.Sprintf("_i%d_%07x", len(include), h.Sum64()&0xfffffff)
 	}
-	if len(name) > 96 {
-		name = name[:96]
+	if len(base)+len(suffix) > 96 {
+		base = base[:96-len(suffix)]
 	}
-	return name
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
+	return base + suffix
 }
 
 // miEntryToCandidate converts an MI DMV entry into a DTA search candidate

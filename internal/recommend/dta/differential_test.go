@@ -1,0 +1,81 @@
+package dta
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/workload"
+)
+
+// diffTenant builds one seeded tenant and replays its own template stream
+// so both arms of the differential test see byte-identical Query Stores.
+func diffTenant(t *testing.T, seed int64, tier engine.Tier, n int) *workload.Tenant {
+	t.Helper()
+	clock := sim.NewClock()
+	tn, err := workload.NewTenant(workload.Profile{
+		Name: "difftest",
+		Tier: tier,
+		Seed: seed,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.Run(45*time.Minute, n)
+	return tn
+}
+
+// TestCachedCostingMatchesUncached is the differential guarantee behind
+// the costing acceleration layer: with the workload sample held equal,
+// the plan-cost cache and the upper-bound enumeration pruning change only
+// how many optimizer calls a DTA pass makes — never what it recommends or
+// reports. 50 seeded scenarios, including the chaos-fleet seeds.
+func TestCachedCostingMatchesUncached(t *testing.T) {
+	seeds := []int64{99, 424242, 20170301}
+	for s := int64(1); len(seeds) < 50; s++ {
+		seeds = append(seeds, s*7919+13)
+	}
+	tiers := []engine.Tier{engine.TierBasic, engine.TierStandard, engine.TierPremium}
+	for i, seed := range seeds {
+		tier := tiers[i%len(tiers)]
+		// Two independent, identical tenants: the uncached arm must never
+		// observe sampled statistics or cache state the other arm built.
+		accelTn := diffTenant(t, seed, tier, 160)
+		plainTn := diffTenant(t, seed, tier, 160)
+
+		opts := OptionsForTier(tier)
+		// Unlimited call budget: when the budget binds, the uncached arm
+		// runs out of calls earlier than the cached arm by design (cache
+		// hits are free), so recommendations may legitimately diverge.
+		opts.MaxWhatIfCalls = 0
+		accelRes, err := Run(accelTn.DB, opts)
+		if err != nil {
+			t.Fatalf("seed %d: accelerated run: %v", seed, err)
+		}
+
+		opts.DisableCostCache = true
+		opts.DisablePruning = true
+		plainRes, err := Run(plainTn.DB, opts)
+		if err != nil {
+			t.Fatalf("seed %d: uncached run: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(accelRes.Recommendations, plainRes.Recommendations) {
+			t.Errorf("seed %d (tier %v): recommendations diverge:\naccel: %+v\nplain: %+v",
+				seed, tier, accelRes.Recommendations, plainRes.Recommendations)
+		}
+		if !reflect.DeepEqual(accelRes.Reports, plainRes.Reports) {
+			t.Errorf("seed %d (tier %v): reports diverge", seed, tier)
+		}
+		if accelRes.EstWorkloadImprovementPct != plainRes.EstWorkloadImprovementPct {
+			t.Errorf("seed %d: improvement %v vs %v",
+				seed, accelRes.EstWorkloadImprovementPct, plainRes.EstWorkloadImprovementPct)
+		}
+		if accelRes.WhatIfCalls > plainRes.WhatIfCalls {
+			t.Errorf("seed %d: accelerated pass used MORE optimizer calls (%d > %d)",
+				seed, accelRes.WhatIfCalls, plainRes.WhatIfCalls)
+		}
+	}
+}

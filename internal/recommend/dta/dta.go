@@ -21,6 +21,7 @@ import (
 	"autoindex/internal/core"
 	"autoindex/internal/engine"
 	"autoindex/internal/querystore"
+	"autoindex/internal/schema"
 	"autoindex/internal/sqlparser"
 	"autoindex/internal/value"
 )
@@ -51,6 +52,24 @@ type Options struct {
 	AbortCheck func() bool
 	// AugmentWithMI toggles MI-candidate augmentation (§5.3.2).
 	AugmentWithMI bool
+	// CompressWorkload tunes a weighted representative sample of the
+	// workload instead of the full top-K (querystore.CompressedTopByCPU):
+	// the exact heavy-hitter head plus a CPU-proportional tail sample.
+	// Leave false for exact runs over the full top-K.
+	CompressWorkload bool
+	// CompressionCoverage and CompressionTailSamples tune the sampler;
+	// zero values use the querystore defaults.
+	CompressionCoverage    float64
+	CompressionTailSamples int
+	// DisableCostCache forces every what-if pricing through the optimizer
+	// instead of the per-tenant plan-cost cache. Recommendations are
+	// identical either way (the differential test enforces it); only the
+	// optimizer-call count changes.
+	DisableCostCache bool
+	// DisablePruning turns off upper-bound candidate pruning in the
+	// greedy enumeration. Pruning is exact — a skipped candidate could
+	// never have won a round — so this too changes only the call count.
+	DisablePruning bool
 }
 
 // OptionsForTier scales N and K by the database's resources (§5.3.2).
@@ -59,6 +78,9 @@ func OptionsForTier(tier engine.Tier) Options {
 		MinImprovementFraction: 0.01,
 		AugmentWithMI:          true,
 		ReduceSampledStats:     true,
+		CompressWorkload:       true,
+		CompressionCoverage:    0.90,
+		CompressionTailSamples: 4,
 	}
 	switch tier {
 	case engine.TierBasic:
@@ -131,6 +153,7 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 	res := &Result{}
 	session := db.NewWhatIfSession()
 	session.MaxOptimizerCalls = opts.MaxWhatIfCalls
+	session.DisableCostCache = opts.DisableCostCache
 	defer session.Cleanup()
 
 	now := db.Clock().Now()
@@ -143,19 +166,32 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 		reg.Histogram(descPassMillis).ObserveDuration(db.Clock().Now().Sub(now))
 	}()
 
-	// (a) Workload identification from Query Store (§5.3.2).
-	top := db.QueryStore().TopByCPU(since, opts.TopK)
+	// (a) Workload identification from Query Store (§5.3.2), optionally
+	// compressed to a weighted representative sample whose tail draw
+	// comes from the tenant's own name-keyed RNG stream (deterministic at
+	// any fleet worker count).
+	var picked []querystore.WeightedQuery
+	if opts.CompressWorkload {
+		picked = db.QueryStore().CompressedTopByCPU(since, opts.TopK, querystore.CompressionOptions{
+			TargetCoverage: opts.CompressionCoverage,
+			TailSamples:    opts.CompressionTailSamples,
+			Rand:           db.DeriveRNG("dta/compress"),
+		})
+	} else {
+		for _, q := range db.QueryStore().TopByCPU(since, opts.TopK) {
+			picked = append(picked, querystore.WeightedQuery{QueryCost: q, Weight: 1})
+		}
+	}
 	var workload []tunedStatement
-	for _, q := range top {
-		res.Coverage.TotalCPU += q.TotalCPU
-		st, report := acquireStatement(db, q)
+	for _, q := range picked {
+		st, report := acquireStatement(db, q.QueryCost)
 		if st == nil {
 			res.Reports = append(res.Reports, report)
 			continue
 		}
 		workload = append(workload, tunedStatement{
-			hash: q.QueryHash, stmt: st, weight: float64(q.Executions),
-			cpu: q.TotalCPU, rewritten: report.Rewritten,
+			hash: q.QueryHash, stmt: st, weight: float64(q.Executions) * q.Weight,
+			cpu: q.TotalCPU * q.Weight, rewritten: report.Rewritten,
 		})
 	}
 	// Coverage denominator is all resources, not just the top K.
@@ -165,14 +201,38 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	// (b) Per-query candidate selection via the what-if API.
-	pool := make(map[string]core.Candidate)
-	for _, ts := range workload {
+	// (b) Per-query candidate selection via the what-if API, in three
+	// phases: derive candidate shapes for every statement, build every
+	// sampled statistic, then screen. Fronting all statistics builds means
+	// nothing invalidates the plan-cost cache during screening or the
+	// enumeration that follows, so repeated pricings inside one pass are
+	// hits rather than new optimizer calls.
+	defsPer := make([][]schema.IndexDef, len(workload))
+	for i, ts := range workload {
 		if opts.AbortCheck != nil && opts.AbortCheck() {
 			res.Aborted = true
 			return res, ErrAborted
 		}
-		for _, cand := range candidatesForStatement(db, ts.stmt, opts, session) {
+		defsPer[i] = candidateDefs(db, ts.stmt, opts)
+	}
+	for i := range workload {
+		for _, def := range defsPer[i] {
+			cols := def.KeyColumns
+			if !opts.ReduceSampledStats {
+				cols = def.AllColumns()
+			}
+			for _, c := range cols {
+				session.CreateSampledStats(def.Table, c)
+			}
+		}
+	}
+	pool := make(map[string]core.Candidate)
+	for i, ts := range workload {
+		if opts.AbortCheck != nil && opts.AbortCheck() {
+			res.Aborted = true
+			return res, ErrAborted
+		}
+		for _, cand := range screenCandidates(db, ts, defsPer[i], session) {
 			sig := cand.Def.Signature()
 			if ex, ok := pool[sig]; ok {
 				ex.ImpactedQueries = core.MergeImpacted(ex.ImpactedQueries, []uint64{ts.hash})
@@ -221,6 +281,22 @@ func Run(db *engine.Database, opts Options) (*Result, error) {
 		candidates = append(candidates, c)
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Def.Signature() < candidates[j].Def.Signature() })
+
+	// Sampled statistics for every pool candidate: MI augmentation can
+	// introduce key columns the per-statement phase never saw, and a stat
+	// built lazily mid-search shifts later cost estimates. Building them
+	// all before enumeration keeps the statistics state independent of
+	// which evaluations upper-bound pruning skips — pruning must change
+	// only the call count, never a cost.
+	for _, c := range candidates {
+		cols := c.Def.KeyColumns
+		if !opts.ReduceSampledStats {
+			cols = c.Def.AllColumns()
+		}
+		for _, col := range cols {
+			session.CreateSampledStats(c.Def.Table, col)
+		}
+	}
 
 	// (d) Workload-level greedy enumeration under constraints (§5.1.1).
 	chosen, baseline, finalCost, err := enumerate(db, session, workload, candidates, opts, res)

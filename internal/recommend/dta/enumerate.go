@@ -12,15 +12,19 @@ import (
 // candidate with the largest marginal benefit to the configuration, under
 // the max-index and storage-budget constraints, until the marginal gain is
 // negligible. Per-statement costs are cached and only statements touching
-// the tested candidate's table are re-costed, keeping the what-if call
-// count within budget.
+// the tested candidate's table are re-costed; on top of that, upper-bound
+// pruning skips candidates that could not win the round even if they
+// zeroed every relevant statement's cost. Both prunes are exact — the
+// winner of every round is the same candidate the unpruned search picks —
+// so they change only the what-if call count, never the recommendation.
 func enumerate(db *engine.Database, session *engine.WhatIfSession,
 	workload []tunedStatement, candidates []core.Candidate, opts Options, res *Result,
 ) (chosen []core.Candidate, baseline, finalCost float64, err error) {
+	reg := db.Metrics()
 	// Baseline per-statement costs under the existing configuration.
 	cur := make([]float64, len(workload))
 	for i, ts := range workload {
-		c, _, err := session.Cost(ts.stmt)
+		c, _, err := session.CostQuery(ts.hash, ts.stmt)
 		if err != nil {
 			if errors.Is(err, engine.ErrWhatIfBudget) {
 				return nil, 0, 0, err
@@ -58,25 +62,50 @@ func enumerate(db *engine.Database, session *engine.WhatIfSession,
 				continue
 			}
 			table := strings.ToLower(cand.Def.Table)
+			// Upper bound on this candidate's gain: it cannot save more
+			// than the entire current cost of the statements it touches.
+			// With the earliest-wins tie-break (gain > bestGain, slice
+			// order), a candidate whose bound cannot strictly beat the
+			// current best can be skipped without costing anything.
+			ub := 0.0
+			for i := range workload {
+				if stmtTables[i][table] && cur[i] != 0 {
+					ub += cur[i]
+				}
+			}
+			if !opts.DisablePruning && ub <= bestGain {
+				reg.Counter(descEnumPruned).Inc()
+				continue
+			}
 			session.Catalog().AddHypothetical(cand.Def)
 			gain := 0.0
+			remainingUB := ub
 			newCosts := make(map[int]float64)
 			budgetHit := false
+			dominated := false
 			for i, ts := range workload {
 				if !stmtTables[i][table] || cur[i] == 0 {
 					continue
 				}
-				c, _, err := session.Cost(ts.stmt)
+				c, _, err := session.CostQuery(ts.hash, ts.stmt)
 				if err != nil {
 					if errors.Is(err, engine.ErrWhatIfBudget) {
 						budgetHit = true
 						break
 					}
+					remainingUB -= cur[i]
 					continue
 				}
 				w := c * ts.weight
 				newCosts[i] = w
 				gain += cur[i] - w
+				remainingUB -= cur[i]
+				// Even zeroing every statement still to be costed cannot
+				// beat the current best: stop mid-candidate.
+				if !opts.DisablePruning && gain+remainingUB <= bestGain {
+					dominated = true
+					break
+				}
 			}
 			session.Catalog().RemoveHypothetical(cand.Def.Name)
 			if budgetHit {
@@ -85,6 +114,10 @@ func enumerate(db *engine.Database, session *engine.WhatIfSession,
 					break
 				}
 				return chosen, baseline, finalCost, engine.ErrWhatIfBudget
+			}
+			if dominated {
+				reg.Counter(descEnumPruned).Inc()
+				continue
 			}
 			if gain > bestGain {
 				bestGain = gain
@@ -141,7 +174,7 @@ func (res *Result) buildReports(db *engine.Database, session *engine.WhatIfSessi
 		res.Coverage.AnalyzedCPU += ts.cpu
 		// Final-configuration cost and impacted indexes (the chosen set is
 		// still in the session catalog after enumeration).
-		if after, plan, err := session.Cost(ts.stmt); err == nil {
+		if after, plan, err := session.CostQuery(ts.hash, ts.stmt); err == nil {
 			r.CostAfter = after
 			for _, ix := range plan.IndexesUsed {
 				if chosenNames[strings.ToLower(ix)] {
@@ -153,7 +186,7 @@ func (res *Result) buildReports(db *engine.Database, session *engine.WhatIfSessi
 		for _, c := range chosen {
 			session.Catalog().RemoveHypothetical(c.Def.Name)
 		}
-		if before, _, err := session.Cost(ts.stmt); err == nil {
+		if before, _, err := session.CostQuery(ts.hash, ts.stmt); err == nil {
 			r.CostBefore = before
 		}
 		for _, c := range chosen {

@@ -13,6 +13,8 @@ var (
 		"distinct candidate indexes entering the DTA pool (per-query + MI augmentation)")
 	descCandidatesPruned = metrics.NewCounterDesc("dta.candidates_pruned",
 		"DTA pool candidates dropped for duplicating an existing index")
+	descEnumPruned = metrics.NewCounterDesc("dta.enumeration_pruned",
+		"greedy-enumeration candidate evaluations skipped by exact upper-bound domination")
 	descPassMillis = metrics.NewHistogramDesc("dta.pass_ms",
 		"DTA pass latency in virtual milliseconds",
 		10, 100, 1_000, 10_000, 60_000, 600_000)

@@ -21,7 +21,6 @@ import (
 	"autoindex/internal/engine"
 	"autoindex/internal/mathx"
 	"autoindex/internal/schema"
-	"autoindex/internal/sqlparser"
 )
 
 // Config tunes the recommender.
@@ -387,21 +386,15 @@ func (r *Recommender) Coverage(since time.Time) core.Coverage {
 	var cov core.Coverage
 	for _, q := range r.db.QueryStore().Costs(since) {
 		cov.TotalCPU += q.TotalCPU
-		if q.IsWrite && !writeHasPredicates(q.Text) {
+		// HasWritePredicates was classified from the parsed statement at
+		// Query Store ingestion, so truncated text cannot misclassify a
+		// write here.
+		if q.IsWrite && !q.HasWritePredicates {
 			continue
 		}
 		cov.AnalyzedCPU += q.TotalCPU
 	}
 	return cov
-}
-
-func writeHasPredicates(text string) bool {
-	stmt, err := sqlparser.Parse(text)
-	if err != nil {
-		// Truncated text: conservatively assume unanalyzable.
-		return false
-	}
-	return len(sqlparser.WritePredicates(stmt)) > 0
 }
 
 // String describes the recommender state.

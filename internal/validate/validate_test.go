@@ -45,7 +45,7 @@ func (h *harness) runPhase(specs []spec, n int) {
 				info.IndexesUsed = []string{ixName}
 			}
 			jitter := float64(i%5) * 0.02 * s.cpu
-			h.qs.Record(s.qh, "stmt", false, s.isWrite, info, querystore.Measurement{
+			h.qs.Record(s.qh, querystore.QueryMeta{Text: "stmt", IsWrite: s.isWrite}, info, querystore.Measurement{
 				CPUMillis:      s.cpu + jitter,
 				LogicalReads:   s.cpu * 2,
 				DurationMillis: s.cpu * 3,
