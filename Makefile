@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-gate ci cover clean
+.PHONY: all build test race vet lint check bench bench-gate smoke ci cover clean
 
 all: build test
 
@@ -33,8 +33,11 @@ check: build test lint
 # build paths) runs under race too. Part of tier-1 verify.
 # The metrics registry and the tracer join the list: their whole point
 # is lock-free (atomic) updates from many workers at once.
+# The serving path (wire protocol + session layer) is concurrency by
+# definition — many client goroutines against one engine — so both
+# packages run their full suites under race.
 race:
-	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane ./internal/faults ./internal/metrics ./internal/trace
+	$(GO) test -race -count=1 ./internal/fleet ./internal/telemetry ./internal/controlplane ./internal/faults ./internal/metrics ./internal/trace ./internal/serve ./internal/wire
 	$(GO) test -race -count=1 -run 'Differential' ./internal/engine
 
 vet:
@@ -68,17 +71,27 @@ bench:
 bench-gate:
 	@cp BENCH_fleet.json .bench_baseline.json
 	@cp BENCH_recommender.json .bench_rec_baseline.json
+	@cp BENCH_serve.json .bench_serve_baseline.json
 	$(GO) test -bench='BenchmarkFleetParallel|BenchmarkRecommenderLatency' -benchtime=1x -run '^$$' ./internal/fleet
+	$(GO) test -bench='BenchmarkServeThroughput' -benchtime=1x -run '^$$' ./internal/serve
 	@$(GO) run ./cmd/benchdiff .bench_baseline.json BENCH_fleet.json; \
 		fleet=$$?; mv .bench_baseline.json BENCH_fleet.json; \
 		$(GO) run ./cmd/benchdiff .bench_rec_baseline.json BENCH_recommender.json; \
 		rec=$$?; mv .bench_rec_baseline.json BENCH_recommender.json; \
-		exit $$((fleet + rec))
+		$(GO) run ./cmd/benchdiff .bench_serve_baseline.json BENCH_serve.json; \
+		serve=$$?; mv .bench_serve_baseline.json BENCH_serve.json; \
+		exit $$((fleet + rec + serve))
+
+# Live-traffic smoke test: builds the autoindexd and sqlload binaries,
+# boots the daemon with both listeners, replays wire-protocol traffic
+# and waits for it to reach the tuner via /livestats. Part of CI.
+smoke:
+	$(GO) test -run 'TestLiveTrafficSmoke' -count=1 .
 
 # The single CI entry point: everything the workflow runs, runnable
 # locally with one command.
-ci: check race cover bench-gate
+ci: check race cover smoke bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json
+	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json .bench_serve_baseline.json

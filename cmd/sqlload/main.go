@@ -1,0 +1,132 @@
+// Command sqlload drives live traffic at an autoindexd SQL front end
+// (-sql-listen). It deterministically rebuilds the target tenant's
+// workload generator from the fleet seed — the same schema, data
+// distributions and statement templates the server built — so every
+// generated statement is valid against the server-side database, then
+// replays a statement stream over concurrent connections. A fraction of
+// statements go through the prepared-statement (binary) protocol path.
+//
+// Usage:
+//
+//	sqlload -addr 127.0.0.1:3306 -db db000 -fleet-seed 42 -conns 4 -stmts 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/wire"
+	"autoindex/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:3306", "autoindexd SQL address")
+		user      = flag.String("user", "app", "username (server accepts any)")
+		password  = flag.String("password", "autoindex", "password")
+		db        = flag.String("db", "db000", "target database (fleet naming: db000, db001, ...)")
+		fleetSeed = flag.Int64("fleet-seed", 42, "the server fleet's -seed; statement generation derives from it")
+		scale     = flag.Float64("scale", 1, "the server fleet's workload scale")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		stmts     = flag.Int("stmts", 200, "total statements to execute")
+		prepared  = flag.Float64("prepared", 0.25, "fraction of statements sent via the prepared (binary) protocol")
+	)
+	flag.Parse()
+
+	tn, err := rebuildTenant(*db, *fleetSeed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlload:", err)
+		os.Exit(1)
+	}
+	stream := tn.Stream(*stmts)
+
+	// Shard the stream round-robin across connections. The prepared/text
+	// decision draws from a per-connection seeded stream so the overall
+	// mix is reproducible for a given fleet seed.
+	var executed, errors atomic.Int64
+	var wg sync.WaitGroup
+	//lint:ignore wallclock load generation is timed against the real server
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := sim.NewRNG(*fleetSeed).Child(fmt.Sprintf("sqlload/conn%d", c))
+			cl, err := wire.Dial(*addr, *user, *password, *db)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqlload: conn %d: %v\n", c, err)
+				n := 0
+				for i := c; i < len(stream); i += *conns {
+					n++
+				}
+				errors.Add(int64(n))
+				return
+			}
+			defer cl.Close()
+			for i := c; i < len(stream); i += *conns {
+				sql := stream[i]
+				if err := runOne(cl, sql, rng.Float64() < *prepared); err != nil {
+					errors.Add(1)
+					fmt.Fprintf(os.Stderr, "sqlload: conn %d: %v\n", c, err)
+					continue
+				}
+				executed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	//lint:ignore wallclock load generation is timed against the real server
+	elapsed := time.Since(start)
+	rate := float64(executed.Load()) / elapsed.Seconds()
+	fmt.Printf("sqlload: %d executed, %d errors over %d conns in %v (%.0f stmts/sec)\n",
+		executed.Load(), errors.Load(), *conns, elapsed.Round(time.Millisecond), rate)
+	if errors.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne executes one statement, via the prepared (binary) protocol
+// when asked and COM_QUERY otherwise.
+func runOne(cl *wire.Client, sql string, viaPrepared bool) error {
+	if !viaPrepared {
+		_, err := cl.Query(sql)
+		return err
+	}
+	st, err := cl.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	_, err = st.Execute()
+	_ = st.Close()
+	return err
+}
+
+// rebuildTenant reconstructs the named tenant's workload generator the
+// same way fleet.Build does on the server: name db%03d at index i, tier
+// by i%4 (0,1 Standard; 2 Basic; 3 Premium), seed fleetSeed + i*7919.
+func rebuildTenant(name string, fleetSeed int64, scale float64) (*workload.Tenant, error) {
+	var idx int
+	if _, err := fmt.Sscanf(name, "db%03d", &idx); err != nil || fmt.Sprintf("db%03d", idx) != name {
+		return nil, fmt.Errorf("database %q does not follow fleet naming (db000, db001, ...)", name)
+	}
+	tier := engine.TierPremium
+	switch idx % 4 {
+	case 0, 1:
+		tier = engine.TierStandard
+	case 2:
+		tier = engine.TierBasic
+	}
+	return workload.NewTenant(workload.Profile{
+		Name:        name,
+		Tier:        tier,
+		Seed:        fleetSeed + int64(idx)*7919,
+		Scale:       scale,
+		UserIndexes: true,
+	}, sim.NewClock())
+}

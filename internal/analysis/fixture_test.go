@@ -20,6 +20,8 @@ var fixtureOverrides = map[string]struct {
 	asTest  bool   // mark the file as a _test.go source
 }{
 	"wallclock_sim.go":            {pkgPath: "autoindex/internal/sim"},
+	"wallclock_wire.go":           {pkgPath: "autoindex/internal/wire"},
+	"wallclock_serve.go":          {pkgPath: "autoindex/internal/serve"},
 	"wallclock_testfile.go":       {asTest: true},
 	"metricsdiscipline_timing.go": {asTest: true},
 }

@@ -52,8 +52,12 @@ func isErrorType(t types.Type) bool {
 }
 
 // isFloat reports whether t's underlying type is a floating-point
-// kind (the accumulation order of which is observable).
+// kind (the accumulation order of which is observable). t is nil for
+// the blank identifier (`_ = f()` has no LHS type).
 func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
 }

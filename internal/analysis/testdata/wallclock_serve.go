@@ -1,0 +1,14 @@
+// The fixture driver type-checks this file under the import path
+// "autoindex/internal/serve" and asserts the wallclock analyzer stays
+// silent: the session layer is on the sanctioned list because admission
+// backpressure sleeps off real wall time and command reads carry real
+// deadlines. There is deliberately no want and no //lint:ignore here —
+// the package exemption itself must do the suppressing.
+package fixture
+
+import "time"
+
+func serveBackpressure(wait time.Duration) {
+	t := time.NewTimer(wait)
+	<-t.C
+}

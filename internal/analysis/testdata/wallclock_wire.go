@@ -1,0 +1,16 @@
+// The fixture driver type-checks this file under the import path
+// "autoindex/internal/wire" and asserts the wallclock analyzer stays
+// silent: the wire codec layer is on the sanctioned list because real
+// network connections need real read deadlines. There is deliberately
+// no want and no //lint:ignore here — the package exemption itself must
+// do the suppressing.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+func wireDeadline(nc net.Conn, d time.Duration) error {
+	return nc.SetReadDeadline(time.Now().Add(d))
+}

@@ -6,7 +6,9 @@ import (
 )
 
 // WallClockAnalyzer forbids reading the wall clock or the global
-// math/rand source outside internal/sim. Every component reads time
+// math/rand source outside the sanctioned packages (internal/sim and
+// the live serving path, see sanctionedPkgSuffixes). Every simulated
+// component reads time
 // through sim.Clock and randomness through seeded sim.RNG streams;
 // that is the whole reason fleet runs are bit-identical for a given
 // seed. A stray time.Now or rand.Intn silently reintroduces
@@ -19,14 +21,38 @@ import (
 // test wall-time never feeds simulation output.
 var WallClockAnalyzer = &Analyzer{
 	Name:      "wallclock",
-	Doc:       "wall-clock time or global math/rand outside internal/sim (use sim.Clock / sim.RNG)",
+	Doc:       "wall-clock time or global math/rand outside sanctioned packages (use sim.Clock / sim.RNG)",
 	SkipTests: true,
 	Run:       runWallClock,
 }
 
 // simPkgSuffix exempts the simulation substrate itself, which is the
 // one place allowed to touch the real clock (sim.WallClock adapts it).
+// It is also referenced by the metricsdiscipline check.
 const simPkgSuffix = "internal/sim"
+
+// sanctionedPkgSuffixes lists the packages allowed to read the wall
+// clock. Beyond the simulation substrate, the SQL serving path is
+// exempt: real network connections need real read deadlines, and
+// admission backpressure sleeps off real wall time. Nothing in either
+// package feeds simulation output — live capture enters Query Store
+// through the engine, which stamps it with the tenant's virtual clock.
+var sanctionedPkgSuffixes = []string{
+	simPkgSuffix,
+	"internal/wire",
+	"internal/serve",
+}
+
+// sanctionedPkg reports whether pkgPath is on the wall-clock
+// sanctioned list.
+func sanctionedPkg(pkgPath string) bool {
+	for _, suffix := range sanctionedPkgSuffixes {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
 
 var wallTimeFuncs = map[string]bool{
 	"Now": true, "Since": true, "Sleep": true, "Until": true,
@@ -40,7 +66,7 @@ var randConstructors = map[string]bool{
 }
 
 func runWallClock(pass *Pass) {
-	if pass.PkgPath == simPkgSuffix || strings.HasSuffix(pass.PkgPath, "/"+simPkgSuffix) {
+	if sanctionedPkg(pass.PkgPath) {
 		return
 	}
 	for _, file := range pass.Files {

@@ -291,6 +291,19 @@ func (cp *ControlPlane) analysisService() {
 		// so span order in the hub is deterministic.
 		sp := cp.tracer.Start(m.db.Name(), "tuning-session")
 		sp.Annotate("source", source)
+		// Workload provenance: did live wire-protocol traffic contribute
+		// to the Query Store this pass mines? Annotated only when live
+		// executions exist, so purely simulated runs keep their span
+		// snapshots byte-identical.
+		totalExecs, liveExecs := m.db.QueryStore().ExecutionTotals()
+		if liveExecs > 0 {
+			workload := "mixed"
+			if liveExecs == totalExecs {
+				workload = "live"
+			}
+			sp.Annotate("workload", workload)
+			cp.hub.Inc("analysis.live_workload", 1)
+		}
 		var cands []core.Candidate
 		switch source {
 		case core.SourceDTA:
@@ -341,19 +354,41 @@ func (cp *ControlPlane) analysisService() {
 			cp.hub.Inc("mi.analyses", 1)
 		}
 		cp.store.SaveDatabase(ds)
-		created := 0
+		created, filedLive := 0, 0
 		for _, c := range cands {
 			if cp.cfg.MaxCreatesPerAnalysis > 0 && created >= cp.cfg.MaxCreatesPerAnalysis {
 				break
 			}
 			if cp.fileCreateRecommendation(m, c, now) {
 				created++
+				if liveExecs > 0 && candidateLiveDriven(m.db, c) {
+					filedLive++
+				}
 			}
 		}
 		sp.Annotate("candidates", len(cands))
 		sp.Annotate("filed", created)
+		if liveExecs > 0 {
+			sp.Annotate("filed_live", filedLive)
+			if filedLive > 0 {
+				cp.hub.Inc("recommendations.live_driven", int64(filedLive))
+			}
+		}
 		sp.End()
 	}
+}
+
+// candidateLiveDriven reports whether any query the candidate targets
+// was executed through the serving path — i.e. live client traffic
+// contributed evidence for this recommendation.
+func candidateLiveDriven(db *engine.Database, c core.Candidate) bool {
+	qs := db.QueryStore()
+	for _, qh := range c.ImpactedQueries {
+		if qs.QueryLiveExecutions(qh) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // fileCreateRecommendation files one Active create recommendation unless a

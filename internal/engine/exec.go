@@ -19,11 +19,24 @@ import (
 
 // Result is the outcome of executing one statement.
 type Result struct {
-	Rows     []value.Row
+	Rows []value.Row
+	// Columns names the output columns for statements that return rows
+	// (nil for DDL/DML) — the wire front end encodes resultset metadata
+	// from it. Aggregate columns carry their rendered SQL text.
+	Columns  []string
 	Plan     *optimizer.Plan
 	Measured querystore.Measurement
 	// RowsAffected counts modified rows for writes.
 	RowsAffected int64
+}
+
+// ExecOptions modulates statement execution. The zero value is the
+// simulator's behaviour.
+type ExecOptions struct {
+	// LiveCapture marks the execution as captured from a real client
+	// session; Query Store tracks the split so tuning can report whether
+	// a recommendation was driven by live or simulated workload.
+	LiveCapture bool
 }
 
 // parseStatementText parses a statement (exposed for module registration).
@@ -33,17 +46,27 @@ func parseStatementText(sql string) (sqlparser.Statement, error) {
 
 // Exec parses and executes one SQL statement.
 func (d *Database) Exec(sql string) (*Result, error) {
+	return d.ExecWith(sql, ExecOptions{})
+}
+
+// ExecWith parses and executes one SQL statement with options.
+func (d *Database) ExecWith(sql string, opts ExecOptions) (*Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return d.ExecStmt(stmt)
+	return d.ExecStmtWith(stmt, opts)
 }
 
 // ExecStmt executes a parsed statement: DDL is routed to the DDL engine,
 // DML/queries are optimized (populating the MI DMVs), executed with true
 // cost metering, and recorded into Query Store.
 func (d *Database) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	return d.ExecStmtWith(stmt, ExecOptions{})
+}
+
+// ExecStmtWith is ExecStmt with options.
+func (d *Database) ExecStmtWith(stmt sqlparser.Statement, opts ExecOptions) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.CreateTableStmt:
 		return &Result{}, d.CreateTable(s.Table)
@@ -91,7 +114,7 @@ func (d *Database) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 	}
 	res.Plan = plan
 	res.Measured = d.measure(meter, blockedWait)
-	d.record(stmt, plan, res.Measured)
+	d.record(stmt, plan, res.Measured, opts.LiveCapture)
 	reg.Counter(descStatements).Inc()
 	// Estimated-vs-measured calibration: this is the only layer that
 	// sees both the optimizer's cost estimate and the metered execution
@@ -144,7 +167,7 @@ func (d *Database) measure(m *executor.Meter, blocked time.Duration) querystore.
 // query hash comes from the plan (computed once per optimization) so
 // ingestion, the MI DMVs, and the plan-cost cache all share one canonical
 // fingerprint.
-func (d *Database) record(stmt sqlparser.Statement, plan *optimizer.Plan, m querystore.Measurement) {
+func (d *Database) record(stmt sqlparser.Statement, plan *optimizer.Plan, m querystore.Measurement, live bool) {
 	text := stmt.SQL()
 	qhash := plan.QueryHash
 	d.mu.Lock()
@@ -161,6 +184,7 @@ func (d *Database) record(stmt sqlparser.Statement, plan *optimizer.Plan, m quer
 		Truncated:          truncated,
 		IsWrite:            isWrite,
 		HasWritePredicates: isWrite && len(sqlparser.WritePredicates(stmt)) > 0,
+		Live:               live,
 	}, querystore.PlanInfo{
 		PlanHash:    plan.PlanHash,
 		IndexesUsed: append([]string(nil), plan.IndexesUsed...),
@@ -207,12 +231,19 @@ func (d *Database) run(plan *optimizer.Plan, stmt sqlparser.Statement, meter *ex
 		n, err := d.execDelete(plan.Root, s, meter)
 		return &Result{RowsAffected: n}, err
 	default:
-		src, _, err := d.compile(plan.Root, meter)
+		src, lay, err := d.compile(plan.Root, meter)
 		if err != nil {
 			return nil, err
 		}
 		rows := executor.Drain(src)
-		return &Result{Rows: rows}, nil
+		cols := make([]string, 0, len(lay.cols))
+		for _, c := range lay.cols {
+			if c.name == ridColName {
+				continue
+			}
+			cols = append(cols, c.name)
+		}
+		return &Result{Rows: rows, Columns: cols}, nil
 	}
 }
 

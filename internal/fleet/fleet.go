@@ -149,6 +149,18 @@ func (f *Fleet) alignClocks() {
 	}
 }
 
+// AdvanceLive moves the whole fleet's virtual time forward by d and
+// re-aligns every tenant clock. The serving path uses it as the live
+// loop's tick: client statements execute against tenant databases in
+// real time, and each tick advances the virtual clocks the tuning
+// pipeline (analysis cadence, validation windows) runs on. Call it only
+// from the single live-loop goroutine — it is a barrier, like the
+// ops-loop call sites of alignClocks.
+func (f *Fleet) AdvanceLive(d time.Duration) {
+	f.Clock.Advance(d)
+	f.alignClocks()
+}
+
 // tenantStream derives tenant tn's named RNG stream from the fleet seed:
 // sim.TenantRNG gives the per-tenant root (seed ^ hash(tenantID)), Child
 // isolates the purpose so new consumers don't perturb existing ones.

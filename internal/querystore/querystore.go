@@ -121,7 +121,10 @@ type QueryEntry struct {
 	// writes whose read side an index can help. Recorded at ingestion so
 	// recommenders never re-parse stored text to find out.
 	HasWritePredicates bool
-	Plans              map[uint64]*PlanEntry
+	// LiveExecutions counts executions that arrived through the serving
+	// path (wire-protocol sessions) rather than the workload simulator.
+	LiveExecutions int64
+	Plans          map[uint64]*PlanEntry
 }
 
 // sortedPlans returns the query's plans in ascending plan-hash order.
@@ -151,6 +154,11 @@ type Store struct {
 	// mode's missing validation windows); dropped counts how many.
 	dropper func() bool
 	dropped int64
+	// Execution totals, split by provenance: totalExecs counts every
+	// recorded execution, liveExecs the subset captured from real
+	// wire-protocol sessions (QueryMeta.Live).
+	totalExecs int64
+	liveExecs  int64
 }
 
 // DefaultInterval matches Query Store's common configuration.
@@ -190,6 +198,10 @@ type QueryMeta struct {
 	Truncated          bool
 	IsWrite            bool
 	HasWritePredicates bool
+	// Live marks an execution captured from a real client session on the
+	// serving path, as opposed to one produced by the workload simulator.
+	// Tuning spans use the split to report what drove a recommendation.
+	Live bool
 }
 
 // Record folds one execution into the store.
@@ -199,6 +211,10 @@ func (s *Store) Record(queryHash uint64, meta QueryMeta, plan PlanInfo, m Measur
 	if s.dropper != nil && s.dropper() {
 		s.dropped++
 		return
+	}
+	s.totalExecs++
+	if meta.Live {
+		s.liveExecs++
 	}
 	q := s.queries[queryHash]
 	if q == nil {
@@ -214,6 +230,9 @@ func (s *Store) Record(queryHash uint64, meta QueryMeta, plan PlanInfo, m Measur
 	} else if q.Truncated && !meta.Truncated {
 		// A later execution supplied the full text.
 		q.Text, q.Truncated = meta.Text, false
+	}
+	if meta.Live {
+		q.LiveExecutions++
 	}
 	now := s.clock.Now()
 	p := q.Plans[plan.PlanHash]
@@ -264,8 +283,11 @@ type QueryCost struct {
 	IsWrite            bool
 	HasWritePredicates bool
 	Executions         int64
-	TotalCPU           float64
-	TotalReads         float64
+	// LiveExecutions is the query's lifetime count of serving-path
+	// executions (not windowed — provenance, not cost).
+	LiveExecutions int64
+	TotalCPU       float64
+	TotalReads     float64
 }
 
 // TopByCPU returns the k most expensive queries by total CPU over
@@ -286,7 +308,7 @@ func (s *Store) Costs(from time.Time) []QueryCost {
 	to := s.clock.Now().Add(time.Nanosecond)
 	var out []QueryCost
 	for _, q := range s.queries {
-		c := QueryCost{QueryHash: q.QueryHash, Text: q.Text, Truncated: q.Truncated, IsWrite: q.IsWrite, HasWritePredicates: q.HasWritePredicates}
+		c := QueryCost{QueryHash: q.QueryHash, Text: q.Text, Truncated: q.Truncated, IsWrite: q.IsWrite, HasWritePredicates: q.HasWritePredicates, LiveExecutions: q.LiveExecutions}
 		for _, p := range q.sortedPlans() {
 			for _, iv := range p.window(from, to) {
 				c.Executions += iv.Count
@@ -390,6 +412,26 @@ func (s *Store) QueriesUsingIndex(index string, from, to time.Time) []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ExecutionTotals reports lifetime execution counts: every recorded
+// execution, and the subset captured live from wire-protocol sessions.
+func (s *Store) ExecutionTotals() (total, live int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalExecs, s.liveExecs
+}
+
+// QueryLiveExecutions reports how many of a query's executions arrived
+// through the serving path.
+func (s *Store) QueryLiveExecutions(queryHash uint64) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q := s.queries[queryHash]
+	if q == nil {
+		return 0
+	}
+	return q.LiveExecutions
 }
 
 // Interval returns the aggregation interval.

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket rate-limits one tenant's statements. Instead of dropping
+// over-limit work it returns the wait that would bring the tenant back
+// under its rate — the session sleeps that long before executing, so
+// clients see backpressure (latency) rather than errors.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// reserve takes one token and returns how long the caller must wait
+// before proceeding (zero when under the rate). Debt accumulates like
+// GCRA: a burst drives tokens negative and successive statements queue
+// behind it proportionally.
+func (b *tokenBucket) reserve(now time.Time) time.Duration {
+	if b == nil || b.rate <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"autoindex/internal/wire"
+)
+
+// benchServeOnce pushes stmts statements through the server over conns
+// concurrent connections, every fourth one via the prepared (binary)
+// protocol path.
+func benchServeOnce(b *testing.B, addr string, conns, stmts int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := wire.Dial(addr, "bench", testPassword, "db000")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer cl.Close()
+			st, err := cl.Prepare("SELECT id, amount FROM orders WHERE customer_id = ?")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for i := c; i < stmts; i += conns {
+				if i%4 == 0 {
+					if _, err := st.Execute(int64(i % 5)); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					if _, err := cl.Query(fmt.Sprintf("SELECT status FROM orders WHERE id = %d", i%20)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeThroughput measures the full serving path — wire
+// protocol, admission, engine execution with live capture — at several
+// connection counts and records the numbers in BENCH_serve.json at the
+// repo root (the bench-gate ratchet compares the fastest count).
+func BenchmarkServeThroughput(b *testing.B) {
+	type timing struct {
+		Workers   int     `json:"workers"`
+		NsPerOp   int64   `json:"ns_per_op"`
+		SecPerOp  float64 `json:"sec_per_op"`
+		SpeedupX1 float64 `json:"speedup_vs_workers_1"`
+	}
+	db := newTestDB(b)
+	_, addr, _ := startServer(b, Config{Lookup: lookupOne(db)})
+
+	const stmts = 400
+	connSet := []int{1, 4, 8}
+	latest := make(map[int]timing)
+	for _, conns := range connSet {
+		conns := conns
+		b.Run(fmt.Sprintf("conns=%d", conns), func(sb *testing.B) {
+			start := time.Now()
+			for i := 0; i < sb.N; i++ {
+				benchServeOnce(sb, addr, conns, stmts)
+			}
+			per := time.Since(start).Nanoseconds() / int64(sb.N)
+			latest[conns] = timing{Workers: conns, NsPerOp: per, SecPerOp: float64(per) / 1e9}
+		})
+	}
+	if len(latest) == 0 {
+		return
+	}
+	timings := make([]timing, 0, len(latest))
+	for _, c := range connSet {
+		if t, ok := latest[c]; ok {
+			timings = append(timings, t)
+		}
+	}
+	base := timings[0].SecPerOp
+	for i := range timings {
+		if timings[i].SecPerOp > 0 {
+			timings[i].SpeedupX1 = base / timings[i].SecPerOp
+		}
+	}
+	report := map[string]any{
+		"benchmark":  "BenchmarkServeThroughput",
+		"workload":   "400 statements over the SQL wire protocol (25% prepared/binary) against a 20-row orders database",
+		"num_cpu":    runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"note":       "full serving path: framing, auth, admission, engine execution, live Query Store capture",
+		"timings":    timings,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not write BENCH_serve.json: %v", err)
+	}
+}

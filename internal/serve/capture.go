@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// captureState aggregates what live sessions have pushed into Query
+// Store. The engine does the recording itself (ExecOptions.LiveCapture);
+// this layer counts batches and distinct query templates so operators —
+// and the end-to-end tests — can see live traffic flowing into tuning.
+type captureState struct {
+	mu         sync.Mutex
+	statements int64
+	batches    int64
+	queries    map[uint64]struct{}
+}
+
+// CaptureStats is a snapshot of live Query Store capture.
+type CaptureStats struct {
+	Statements      int64 `json:"statements"`
+	Batches         int64 `json:"batches"`
+	DistinctQueries int64 `json:"distinct_queries"`
+}
+
+// note records one captured statement's query hash.
+func (c *captureState) note(queryHash uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queries == nil {
+		c.queries = make(map[uint64]struct{})
+	}
+	c.statements++
+	c.queries[queryHash] = struct{}{}
+}
+
+// batch marks one capture batch flushed.
+func (c *captureState) batch() {
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+}
+
+func (c *captureState) stats() CaptureStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CaptureStats{
+		Statements:      c.statements,
+		Batches:         c.batches,
+		DistinctQueries: int64(len(c.queries)),
+	}
+}

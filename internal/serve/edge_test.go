@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"autoindex/internal/wire"
+)
+
+// rawSession dials the server and completes the handshake by hand,
+// returning the framed connection for protocol-level tampering.
+func rawSession(t *testing.T, addr, database string, maxPayload int) *wire.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	c := wire.NewConn(nc)
+	if maxPayload > 0 {
+		c.SetMaxPayload(maxPayload)
+	}
+	p, err := c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := wire.ParseHandshake(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := wire.HandshakeResponse{
+		Capabilities: wire.ServerCaps(),
+		User:         "raw",
+		AuthResponse: wire.ScrambleNative(testPassword, hs.Seed),
+		Database:     database,
+		Plugin:       wire.AuthPluginNative,
+	}
+	if err := c.WritePacket(wire.EncodeHandshakeResponse(resp)); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.IsOK(p) {
+		t.Fatalf("handshake response = 0x%02x", p[0])
+	}
+	return c
+}
+
+// TestSplitPackets lowers the frame-split threshold on both peers so a
+// routine query exercises multi-frame reassembly in both directions.
+func TestSplitPackets(t *testing.T) {
+	db := newTestDB(t)
+	_, addr, _ := startServer(t, Config{Lookup: lookupOne(db), MaxPayload: 64})
+
+	cl, err := wire.DialMax(addr, "app", testPassword, "db000", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A query long enough to need several 64-byte frames, whose resultset
+	// (20 wide-ish text rows) splits on the way back too.
+	pad := strings.Repeat(" ", 200)
+	res, err := cl.Query("SELECT id, customer_id, status, amount, created FROM orders" + pad + "ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 || res.Rows[19][0].Text != "19" {
+		t.Fatalf("rows = %d, last = %+v", len(res.Rows), res.Rows[len(res.Rows)-1])
+	}
+}
+
+// TestOversizedPacket sends a statement above MaxStatementBytes and
+// checks the server drains it, answers ERR 1153, and keeps the session.
+func TestOversizedPacket(t *testing.T) {
+	db := newTestDB(t)
+	_, addr, _ := startServer(t, Config{Lookup: lookupOne(db), MaxStatementBytes: 1 << 10})
+
+	cl, err := wire.Dial(addr, "app", testPassword, "db000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	big := "SELECT id FROM orders WHERE status = '" + strings.Repeat("x", 4<<10) + "'"
+	if _, err := cl.Query(big); sqlErrCode(err) != wire.CodePacketTooLarge {
+		t.Fatalf("oversized: err = %v, want code %d", err, wire.CodePacketTooLarge)
+	}
+	// The stream stayed framed: the next command works.
+	res, err := cl.Query("SELECT id FROM orders WHERE id = 1")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("after oversized: res = %+v err = %v", res, err)
+	}
+}
+
+// TestMalformedStmtExecute hand-crafts a COM_STMT_EXECUTE whose null
+// bitmap and type block are truncated; the server must answer ERR 1835
+// and keep the session alive.
+func TestMalformedStmtExecute(t *testing.T) {
+	db := newTestDB(t)
+	_, addr, _ := startServer(t, Config{Lookup: lookupOne(db)})
+	c := rawSession(t, addr, "db000", 0)
+
+	// Prepare a 2-parameter statement through the raw connection.
+	c.ResetSeq()
+	if err := c.WritePacket(append([]byte{wire.ComStmtPrepare}, "SELECT id FROM orders WHERE customer_id = ? AND id = ?"...)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0x00 {
+		t.Fatalf("prepare response = 0x%02x", p[0])
+	}
+	r := wire.NewPayloadReader(p[1:])
+	stmtID := r.ReadUint32()
+	// Drain the two parameter definition packets and the EOF.
+	for {
+		p, err := c.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wire.IsEOF(p) {
+			break
+		}
+	}
+
+	// COM_STMT_EXECUTE with a truncated payload: the null bitmap for two
+	// params needs a byte plus the new-params-bound flag and two type
+	// pairs; send only the header.
+	c.ResetSeq()
+	exec := []byte{wire.ComStmtExecute}
+	exec = wire.AppendUint32(exec, stmtID)
+	exec = append(exec, 0, 1, 0, 0, 0) // flags + iteration count
+	if err := c.WritePacket(exec); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.IsErr(p) || wire.ParseErr(p).Code != wire.CodeMalformedPacket {
+		t.Fatalf("malformed execute response = %v", wire.ParseErr(p))
+	}
+
+	// Session is still alive: COM_PING answers OK.
+	c.ResetSeq()
+	if err := c.WritePacket([]byte{wire.ComPing}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.ReadPacket()
+	if err != nil || !wire.IsOK(p) {
+		t.Fatalf("ping after malformed: p = %v err = %v", p, err)
+	}
+}
+
+// TestMidResultsetDisconnect drops the connection while the server is
+// streaming rows; the session must unwind and unregister.
+func TestMidResultsetDisconnect(t *testing.T) {
+	db := newTestDB(t)
+	// Bulk up the table so the resultset spans many packets.
+	for i := 1000; i < 3000; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			"INSERT INTO orders (id, customer_id, status, amount, created) VALUES (%d, %d, 'bulk', 1, %d)", i, i%7, i))
+	}
+	srv, addr, _ := startServer(t, Config{Lookup: lookupOne(db), MaxPayload: 64})
+	c := rawSession(t, addr, "db000", 64)
+
+	c.ResetSeq()
+	if err := c.WritePacket(append([]byte{wire.ComQuery}, "SELECT id, status, created FROM orders"...)); err != nil {
+		t.Fatal(err)
+	}
+	// Read just the resultset header, then vanish mid-stream.
+	if _, err := c.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	waitFor(t, 5*time.Second, func() bool { return srv.ActiveSessions() == 0 }, "session to unwind")
+}
+
+// TestAdmissionMaxSessions exercises the hard gate: connection N+1 is
+// refused pre-handshake with ERR 1040 and counted.
+func TestAdmissionMaxSessions(t *testing.T) {
+	db := newTestDB(t)
+	srv, addr, reg := startServer(t, Config{Lookup: lookupOne(db), MaxSessions: 1})
+
+	cl, err := wire.Dial(addr, "app", testPassword, "db000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := wire.Dial(addr, "app", testPassword, "db000"); sqlErrCode(err) != wire.CodeTooManyConns {
+		t.Fatalf("second conn: err = %v, want code %d", err, wire.CodeTooManyConns)
+	}
+	if got := reg.Counter(DescAdmissionRejected).Value(); got != 1 {
+		t.Fatalf("serve.admission_rejected = %d, want 1", got)
+	}
+
+	// Freeing the slot admits the next connection.
+	_ = cl.Close()
+	waitFor(t, 5*time.Second, func() bool { return srv.ActiveSessions() == 0 }, "slot to free")
+	cl2, err := wire.Dial(addr, "app", testPassword, "db000")
+	if err != nil {
+		t.Fatalf("after free: %v", err)
+	}
+	_ = cl2.Close()
+}
+
+// TestBackpressure runs a statement burst through a tight token bucket
+// and checks the session slowed down rather than erroring.
+func TestBackpressure(t *testing.T) {
+	db := newTestDB(t)
+	_, addr, reg := startServer(t, Config{Lookup: lookupOne(db), TenantRate: 20, TenantBurst: 1})
+
+	cl, err := wire.Dial(addr, "app", testPassword, "db000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	const n = 8
+	for i := 0; i < n; i++ {
+		if _, err := cl.Query("SELECT id FROM orders WHERE id = 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 8 statements at 20/s with burst 1 must pay at least ~300ms of debt
+	// even with generous scheduling slack.
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("burst of %d finished in %v; backpressure not applied", n, elapsed)
+	}
+	if got := reg.Histogram(DescBackpressureWaitMillis).Count(); got == 0 {
+		t.Fatal("serve.backpressure_wait_ms recorded no observations")
+	}
+}
+
+// TestGracefulDrain shuts the server down under an open session: the
+// session is nudged out of its read, told the server is stopping, and
+// Shutdown returns without force-closing.
+func TestGracefulDrain(t *testing.T) {
+	db := newTestDB(t)
+	srv, addr, _ := startServer(t, Config{Lookup: lookupOne(db)})
+
+	cl, err := wire.Dial(addr, "app", testPassword, "db000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SELECT id FROM orders WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if srv.ActiveSessions() != 0 {
+		t.Fatalf("sessions after drain = %d", srv.ActiveSessions())
+	}
+	// New connections are refused once draining.
+	if _, err := wire.Dial(addr, "app", testPassword, "db000"); err == nil {
+		t.Fatal("dial after shutdown succeeded")
+	}
+}

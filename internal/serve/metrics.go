@@ -1,0 +1,23 @@
+package serve
+
+import "autoindex/internal/metrics"
+
+// Serving-path instrumentation. Everything here is driven by real
+// client connections on the wall clock, so all six families are marked
+// volatile: they appear in the /metrics exposition but are excluded
+// from the deterministic snapshot the CI gate compares.
+var (
+	DescConnections = metrics.NewCounterDesc("serve.connections",
+		"TCP connections accepted by the SQL front end").MarkVolatile()
+	DescSessionsActive = metrics.NewGaugeDesc("serve.sessions_active",
+		"wire-protocol sessions currently open").MarkVolatile()
+	DescStatements = metrics.NewCounterDesc("serve.stmts",
+		"statements executed on behalf of wire-protocol clients").MarkVolatile()
+	DescAdmissionRejected = metrics.NewCounterDesc("serve.admission_rejected",
+		"connections refused by the max-sessions admission gate").MarkVolatile()
+	DescBackpressureWaitMillis = metrics.NewHistogramDesc("serve.backpressure_wait_ms",
+		"per-statement waits imposed by the tenant token bucket, wall milliseconds",
+		1, 5, 20, 100, 500, 2_000, 10_000).MarkVolatile()
+	DescCaptureBatches = metrics.NewCounterDesc("serve.capture_batches",
+		"query-store capture batches flushed from live sessions").MarkVolatile()
+)

@@ -1,0 +1,242 @@
+// Package serve is the session/state layer of the SQL serving path: it
+// accepts wire-protocol connections (internal/wire), authenticates
+// them, maps each session onto one tenant database, and executes client
+// statements through the engine with live Query Store capture — so real
+// traffic drives the same DTA/MI tuning loop the simulator does.
+//
+// Admission control has two levels. A max-sessions gate refuses new
+// connections outright (ERR 1040) when the server is full; a per-tenant
+// token bucket converts over-rate statement streams into backpressure
+// (the session sleeps off its debt before executing) instead of errors.
+//
+// This package is on the wallclock analyzer's sanctioned list: it
+// schedules real network deadlines and real backpressure sleeps.
+package serve
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/metrics"
+	"autoindex/internal/wire"
+)
+
+// Config configures a Server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Lookup resolves a database name to its engine instance. Required.
+	Lookup func(name string) (*engine.Database, bool)
+	// Password is the shared tenant password (any username is accepted;
+	// isolation is per-database, not per-user).
+	Password string
+	// MaxSessions caps concurrently open sessions (default 128).
+	MaxSessions int
+	// TenantRate is the per-tenant statement rate in statements/second;
+	// 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the token-bucket burst (default max(1, TenantRate)).
+	TenantBurst float64
+	// ReadTimeout bounds the wait for the next client command
+	// (default 5 minutes).
+	ReadTimeout time.Duration
+	// CaptureBatch is how many captured statements form one capture
+	// batch (default 32).
+	CaptureBatch int
+	// MaxStatementBytes caps a single command packet (default 1MB).
+	MaxStatementBytes int
+	// MaxPayload lowers the wire frame-split threshold; tests use it to
+	// exercise split packets. 0 keeps the protocol's 16MB default.
+	MaxPayload int
+	// ServerVersion is the version string in the handshake
+	// (default "8.0-autoindex").
+	ServerVersion string
+	// Metrics receives the serve.* metric families; nil disables them.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 128
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.CaptureBatch <= 0 {
+		c.CaptureBatch = 32
+	}
+	if c.MaxStatementBytes <= 0 {
+		c.MaxStatementBytes = 1 << 20
+	}
+	if c.ServerVersion == "" {
+		c.ServerVersion = "8.0-autoindex"
+	}
+	return c
+}
+
+// Server accepts and runs wire-protocol sessions.
+type Server struct {
+	cfg     Config
+	done    chan struct{}
+	wg      sync.WaitGroup
+	capture captureState
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	sessions map[*session]struct{}
+	buckets  map[string]*tokenBucket
+	connSeq  uint32
+}
+
+// New returns a server ready to Serve.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		done:     make(chan struct{}),
+		sessions: make(map[*session]struct{}),
+		buckets:  make(map[string]*tokenBucket),
+	}
+}
+
+// Serve accepts connections until the listener closes (typically via
+// Shutdown). It returns nil on a shutdown-initiated stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	reg := s.cfg.Metrics
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		reg.Counter(DescConnections).Inc()
+		sess := s.newSession(nc)
+		if !s.register(sess) {
+			reg.Counter(DescAdmissionRejected).Inc()
+			// Refuse before the handshake, the way real servers do: the
+			// initial packet is an ERR instead of a greeting.
+			_ = sess.conn.WritePacket(wire.EncodeErr(wire.CodeTooManyConns, "too many connections"))
+			_ = nc.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.unregister(sess)
+			sess.run()
+		}()
+	}
+}
+
+func (s *Server) newSession(nc net.Conn) *session {
+	conn := wire.NewConn(nc)
+	if s.cfg.MaxPayload > 0 {
+		conn.SetMaxPayload(s.cfg.MaxPayload)
+	}
+	conn.SetMaxTotal(s.cfg.MaxStatementBytes)
+	s.mu.Lock()
+	s.connSeq++
+	id := s.connSeq
+	s.mu.Unlock()
+	return &session{srv: s, conn: conn, id: id, stmts: make(map[uint32]*preparedStmt)}
+}
+
+// register admits a session under the max-sessions gate.
+func (s *Server) register(sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
+		return false
+	}
+	s.sessions[sess] = struct{}{}
+	s.cfg.Metrics.Gauge(DescSessionsActive).Add(1)
+	return true
+}
+
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess)
+	s.cfg.Metrics.Gauge(DescSessionsActive).Add(-1)
+}
+
+// bucketFor returns the tenant's token bucket, creating it on first use.
+func (s *Server) bucketFor(db string) *tokenBucket {
+	if s.cfg.TenantRate <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[db]
+	if b == nil {
+		b = newTokenBucket(s.cfg.TenantRate, s.cfg.TenantBurst)
+		s.buckets[db] = b
+	}
+	return b
+}
+
+// ActiveSessions reports how many sessions are currently open.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// CaptureStats reports live Query Store capture totals.
+func (s *Server) CaptureStats() CaptureStats { return s.capture.stats() }
+
+// Shutdown stops accepting connections and drains sessions: idle
+// sessions are nudged out of their command read immediately, in-flight
+// statements finish. If ctx expires first, remaining connections are
+// force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+		if s.ln != nil {
+			_ = s.ln.Close()
+		}
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	//lint:ignore maporder every collected session gets the same nudge; order is unobservable
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.nudge()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			_ = sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}

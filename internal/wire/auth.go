@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"crypto/sha1"
+	"crypto/subtle"
+	"fmt"
+)
+
+// AuthPluginNative is the only auth plugin this implementation speaks.
+const AuthPluginNative = "mysql_native_password"
+
+// seedLen is the handshake scramble length (8 bytes in the v10 header
+// plus 12 in the trailer).
+const seedLen = 20
+
+// ScrambleNative computes the mysql_native_password response:
+// SHA1(password) XOR SHA1(seed + SHA1(SHA1(password))). An empty
+// password scrambles to an empty response.
+func ScrambleNative(password string, seed []byte) []byte {
+	if password == "" {
+		return nil
+	}
+	h1 := sha1.Sum([]byte(password))
+	h2 := sha1.Sum(h1[:])
+	mix := sha1.New()
+	mix.Write(seed)
+	mix.Write(h2[:])
+	out := mix.Sum(nil)
+	for i := range out {
+		out[i] ^= h1[i]
+	}
+	return out
+}
+
+// CheckNative verifies a client's auth response against the expected
+// scramble in constant time.
+func CheckNative(password string, seed, response []byte) bool {
+	want := ScrambleNative(password, seed)
+	if len(want) != len(response) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want, response) == 1
+}
+
+// Handshake is the server's initial v10 greeting.
+type Handshake struct {
+	ServerVersion string
+	ConnID        uint32
+	Seed          []byte // seedLen bytes
+	Capabilities  uint32
+}
+
+// EncodeHandshake renders the v10 handshake packet.
+func EncodeHandshake(h Handshake) []byte {
+	seed := h.Seed
+	if len(seed) != seedLen {
+		s := make([]byte, seedLen)
+		copy(s, seed)
+		seed = s
+	}
+	b := []byte{10} // protocol version
+	b = appendNulString(b, h.ServerVersion)
+	b = appendUint32(b, h.ConnID)
+	b = append(b, seed[:8]...)
+	b = append(b, 0) // filler
+	b = appendUint16(b, uint16(h.Capabilities))
+	b = append(b, utf8Charset)
+	b = appendUint16(b, statusAutocommit)
+	b = appendUint16(b, uint16(h.Capabilities>>16))
+	b = append(b, byte(seedLen+1)) // auth data length incl. trailing NUL
+	b = append(b, make([]byte, 10)...)
+	b = append(b, seed[8:]...)
+	b = append(b, 0)
+	b = appendNulString(b, AuthPluginNative)
+	return b
+}
+
+// ParseHandshake decodes a v10 handshake (client side).
+func ParseHandshake(p []byte) (*Handshake, error) {
+	r := newReader(p)
+	if v := r.uint8(); v != 10 {
+		return nil, fmt.Errorf("wire: unsupported handshake protocol version %d", v)
+	}
+	h := &Handshake{}
+	h.ServerVersion = r.nulString()
+	h.ConnID = r.uint32()
+	seed := append([]byte(nil), r.bytes(8)...)
+	r.skip(1) // filler
+	capLow := r.uint16()
+	r.skip(1) // charset
+	r.skip(2) // status
+	capHigh := r.uint16()
+	h.Capabilities = uint32(capLow) | uint32(capHigh)<<16
+	authLen := int(r.uint8())
+	r.skip(10) // reserved
+	if h.Capabilities&CapSecureConnection != 0 {
+		n := authLen - 8 - 1
+		if n < 12 {
+			n = 12
+		}
+		seed = append(seed, r.bytes(n)...)
+		r.skip(1) // trailing NUL
+	}
+	if !r.ok() {
+		return nil, fmt.Errorf("wire: malformed handshake packet")
+	}
+	h.Seed = seed
+	return h, nil
+}
+
+// HandshakeResponse is the client's reply to the handshake.
+type HandshakeResponse struct {
+	Capabilities uint32
+	MaxPacket    uint32
+	User         string
+	AuthResponse []byte
+	Database     string
+	Plugin       string
+}
+
+// EncodeHandshakeResponse renders the protocol-41 response.
+func EncodeHandshakeResponse(hr HandshakeResponse) []byte {
+	b := appendUint32(nil, hr.Capabilities)
+	b = appendUint32(b, hr.MaxPacket)
+	b = append(b, utf8Charset)
+	b = append(b, make([]byte, 23)...)
+	b = appendNulString(b, hr.User)
+	b = append(b, byte(len(hr.AuthResponse)))
+	b = append(b, hr.AuthResponse...)
+	if hr.Capabilities&CapConnectWithDB != 0 {
+		b = appendNulString(b, hr.Database)
+	}
+	if hr.Capabilities&CapPluginAuth != 0 {
+		b = appendNulString(b, hr.Plugin)
+	}
+	return b
+}
+
+// ParseHandshakeResponse decodes the protocol-41 response (server
+// side).
+func ParseHandshakeResponse(p []byte) (*HandshakeResponse, error) {
+	r := newReader(p)
+	hr := &HandshakeResponse{}
+	hr.Capabilities = r.uint32()
+	if hr.Capabilities&CapProtocol41 == 0 {
+		return nil, fmt.Errorf("wire: client does not speak protocol 41")
+	}
+	hr.MaxPacket = r.uint32()
+	r.skip(1)  // charset
+	r.skip(23) // reserved
+	hr.User = r.nulString()
+	if hr.Capabilities&CapPluginAuthLenenc != 0 {
+		hr.AuthResponse = append([]byte(nil), r.lenencBytes()...)
+	} else {
+		n := int(r.uint8())
+		hr.AuthResponse = append([]byte(nil), r.bytes(n)...)
+	}
+	if hr.Capabilities&CapConnectWithDB != 0 && r.remaining() > 0 {
+		hr.Database = r.nulString()
+	}
+	if hr.Capabilities&CapPluginAuth != 0 && r.remaining() > 0 {
+		hr.Plugin = r.nulString()
+	}
+	if !r.ok() {
+		return nil, fmt.Errorf("wire: malformed handshake response")
+	}
+	return hr, nil
+}

@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"autoindex/internal/value"
+)
+
+// Client is a minimal MySQL-protocol client used by cmd/sqlload, the
+// serve benchmarks and the end-to-end tests. It is synchronous: one
+// command in flight per connection, like the protocol itself.
+type Client struct {
+	c *Conn
+}
+
+// Result is a decoded command response. Columns is nil for OK-only
+// responses (DDL/DML); rows carry every cell as text regardless of
+// which protocol encoding they travelled in.
+type Result struct {
+	Columns      []string
+	Rows         [][]TextCell
+	AffectedRows uint64
+}
+
+// Dial connects, authenticates and selects a database.
+func Dial(addr, user, password, database string) (*Client, error) {
+	return DialMax(addr, user, password, database, 0)
+}
+
+// DialMax is Dial with a lowered frame-split threshold (0 keeps the
+// protocol default). The threshold must be set before the handshake:
+// a server configured with a small MaxPayload splits its greeting, and
+// the client can only reassemble it if both peers agree on the split
+// size. Tests pair this with serve.Config.MaxPayload.
+func DialMax(addr, user, password, database string, maxPayload int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(nc)
+	if maxPayload > 0 {
+		c.SetMaxPayload(maxPayload)
+	}
+	cl, err := handshakeClient(c, user, password, database)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// NewClientConn performs the handshake over an established connection.
+func NewClientConn(nc net.Conn, user, password, database string) (*Client, error) {
+	return handshakeClient(NewConn(nc), user, password, database)
+}
+
+func handshakeClient(c *Conn, user, password, database string) (*Client, error) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	if IsErr(p) {
+		return nil, ParseErr(p)
+	}
+	hs, err := ParseHandshake(p)
+	if err != nil {
+		return nil, err
+	}
+	resp := HandshakeResponse{
+		Capabilities: serverCaps,
+		MaxPacket:    MaxPayload,
+		User:         user,
+		AuthResponse: ScrambleNative(password, hs.Seed),
+		Database:     database,
+		Plugin:       AuthPluginNative,
+	}
+	if err := c.WritePacket(EncodeHandshakeResponse(resp)); err != nil {
+		return nil, err
+	}
+	p, err = c.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	if IsErr(p) {
+		return nil, ParseErr(p)
+	}
+	if !IsOK(p) {
+		return nil, fmt.Errorf("wire: unexpected auth response 0x%02x", p[0])
+	}
+	return &Client{c: c}, nil
+}
+
+// SetMaxPayload lowers the client's frame-split threshold (tests only;
+// the server must be configured to match).
+func (cl *Client) SetMaxPayload(n int) { cl.c.SetMaxPayload(n) }
+
+// Query runs a textual COM_QUERY.
+func (cl *Client) Query(sql string) (*Result, error) {
+	if err := cl.command(append([]byte{ComQuery}, sql...)); err != nil {
+		return nil, err
+	}
+	return cl.readResult(false)
+}
+
+// Use switches the session's database via COM_INIT_DB.
+func (cl *Client) Use(database string) error {
+	if err := cl.command(append([]byte{ComInitDB}, database...)); err != nil {
+		return err
+	}
+	return cl.readOK()
+}
+
+// Ping round-trips COM_PING.
+func (cl *Client) Ping() error {
+	if err := cl.command([]byte{ComPing}); err != nil {
+		return err
+	}
+	return cl.readOK()
+}
+
+// Close sends COM_QUIT (best effort) and closes the connection.
+func (cl *Client) Close() error {
+	_ = cl.command([]byte{ComQuit})
+	return cl.c.Close()
+}
+
+// Stmt is a server-side prepared statement.
+type Stmt struct {
+	cl         *Client
+	id         uint32
+	paramCount int
+}
+
+// Prepare registers a statement with `?` placeholders on the server.
+func (cl *Client) Prepare(sql string) (*Stmt, error) {
+	if err := cl.command(append([]byte{ComStmtPrepare}, sql...)); err != nil {
+		return nil, err
+	}
+	p, err := cl.c.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	if IsErr(p) {
+		return nil, ParseErr(p)
+	}
+	r := newReader(p)
+	if r.uint8() != 0x00 {
+		return nil, fmt.Errorf("wire: unexpected prepare response 0x%02x", p[0])
+	}
+	st := &Stmt{cl: cl}
+	st.id = r.uint32()
+	cols := int(r.uint16())
+	st.paramCount = int(r.uint16())
+	if !r.ok() {
+		return nil, fmt.Errorf("wire: malformed prepare response")
+	}
+	// Parameter and column definition blocks, each EOF-terminated.
+	for _, n := range []int{st.paramCount, cols} {
+		if n == 0 {
+			continue
+		}
+		if err := cl.discardDefs(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// discardDefs reads definition packets until an EOF.
+func (cl *Client) discardDefs() error {
+	for {
+		p, err := cl.c.ReadPacket()
+		if err != nil {
+			return err
+		}
+		if IsErr(p) {
+			return ParseErr(p)
+		}
+		if IsEOF(p) {
+			return nil
+		}
+	}
+}
+
+// Execute binds args and runs the statement over the binary protocol.
+// Accepted argument types: nil, bool, int, int64, float64, string,
+// time.Time and value.Value.
+func (st *Stmt) Execute(args ...any) (*Result, error) {
+	if len(args) != st.paramCount {
+		return nil, fmt.Errorf("wire: statement wants %d args, got %d", st.paramCount, len(args))
+	}
+	vals := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := anyToValue(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	if err := st.cl.command(EncodeStmtExecute(st.id, vals)); err != nil {
+		return nil, err
+	}
+	return st.cl.readResult(true)
+}
+
+// Close deallocates the statement (COM_STMT_CLOSE has no response).
+func (st *Stmt) Close() error {
+	b := appendUint32([]byte{ComStmtClose}, st.id)
+	return st.cl.command(b)
+}
+
+func anyToValue(a any) (value.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return value.NewNull(), nil
+	case bool:
+		return value.NewBool(v), nil
+	case int:
+		return value.NewInt(int64(v)), nil
+	case int64:
+		return value.NewInt(v), nil
+	case float64:
+		return value.NewFloat(v), nil
+	case string:
+		return value.NewString(v), nil
+	case time.Time:
+		return value.NewTime(v), nil
+	case value.Value:
+		return v, nil
+	default:
+		return value.Value{}, fmt.Errorf("wire: unsupported argument type %T", a)
+	}
+}
+
+// command resets the sequence and writes one command packet.
+func (cl *Client) command(payload []byte) error {
+	cl.c.ResetSeq()
+	return cl.c.WritePacket(payload)
+}
+
+// readOK consumes an OK-or-ERR response.
+func (cl *Client) readOK() error {
+	p, err := cl.c.ReadPacket()
+	if err != nil {
+		return err
+	}
+	if IsErr(p) {
+		return ParseErr(p)
+	}
+	if !IsOK(p) {
+		return fmt.Errorf("wire: unexpected response 0x%02x", p[0])
+	}
+	return nil
+}
+
+// readResult consumes a COM_QUERY / COM_STMT_EXECUTE response: an OK,
+// an ERR, or a column count followed by definitions and rows, each
+// block EOF-terminated.
+func (cl *Client) readResult(binary bool) (*Result, error) {
+	p, err := cl.c.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	if IsErr(p) {
+		return nil, ParseErr(p)
+	}
+	if IsOK(p) {
+		ok, err := ParseOK(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{AffectedRows: ok.AffectedRows}, nil
+	}
+	r := newReader(p)
+	n := int(r.lenencInt())
+	if !r.ok() || r.remaining() != 0 || n == 0 {
+		return nil, fmt.Errorf("wire: malformed resultset header")
+	}
+	cols := make([]Column, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := cl.c.ReadPacket()
+		if err != nil {
+			return nil, err
+		}
+		if IsErr(p) {
+			return nil, ParseErr(p)
+		}
+		col, err := ParseColumn(p)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, *col)
+	}
+	p, err = cl.c.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	if !IsEOF(p) {
+		return nil, fmt.Errorf("wire: expected EOF after column definitions")
+	}
+	res := &Result{Columns: make([]string, n)}
+	for i, c := range cols {
+		res.Columns[i] = c.Name
+	}
+	for {
+		p, err := cl.c.ReadPacket()
+		if err != nil {
+			return nil, err
+		}
+		if IsErr(p) {
+			return nil, ParseErr(p)
+		}
+		if IsEOF(p) {
+			return res, nil
+		}
+		var row []TextCell
+		if binary {
+			row, err = ParseBinaryRow(p, cols)
+		} else {
+			row, err = ParseTextRow(p, n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}

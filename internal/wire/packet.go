@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MaxPayload is the protocol's per-frame payload limit: a frame of
+// exactly this size signals that the payload continues in the next
+// frame, and the logical packet ends at the first shorter frame.
+const MaxPayload = 1<<24 - 1
+
+// ErrPacketTooLarge is returned by ReadPacket when a logical packet
+// exceeds the configured total cap. The continuation frames are drained
+// (so the stream stays framed and an error packet can still be sent)
+// but their contents are discarded.
+var ErrPacketTooLarge = errors.New("wire: packet exceeds the maximum allowed size")
+
+// Conn frames a net.Conn into MySQL packets: 3-byte little-endian
+// payload length, 1-byte sequence id, payload. Sequence ids increment
+// per frame and reset to 0 at each command boundary (ResetSeq); both
+// sides verify them, so a desynchronized stream fails fast instead of
+// misparsing.
+type Conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	seq uint8
+	// maxPayload is the frame-split threshold. It is MaxPayload in
+	// production; tests lower it to exercise continuation frames
+	// without 16MB statements.
+	maxPayload int
+	// maxTotal caps the reassembled logical packet; 0 means unbounded.
+	maxTotal int
+}
+
+// NewConn wraps a network connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc:         nc,
+		br:         bufio.NewReader(nc),
+		bw:         bufio.NewWriter(nc),
+		maxPayload: MaxPayload,
+	}
+}
+
+// SetMaxPayload lowers the frame-split threshold (both peers must
+// agree). Values are clamped to [16, MaxPayload].
+func (c *Conn) SetMaxPayload(n int) {
+	if n < 16 {
+		n = 16
+	}
+	if n > MaxPayload {
+		n = MaxPayload
+	}
+	c.maxPayload = n
+}
+
+// SetMaxTotal caps the reassembled logical packet size; 0 disables the
+// cap. Servers set it so a hostile client cannot make them buffer an
+// arbitrarily large statement.
+func (c *Conn) SetMaxTotal(n int) { c.maxTotal = n }
+
+// ResetSeq rewinds the sequence counter to 0: called by the client
+// before each command, and by the server after reading one (responses
+// continue the command's sequence).
+func (c *Conn) ResetSeq() { c.seq = 0 }
+
+// SetReadDeadline delegates to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// RemoteAddr delegates to the underlying connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// readHeader reads one frame header and verifies its sequence id.
+func (c *Conn) readHeader() (int, error) {
+	var h [4]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return 0, err
+	}
+	if h[3] != c.seq {
+		return 0, fmt.Errorf("wire: out-of-order packet: got seq %d, want %d", h[3], c.seq)
+	}
+	c.seq++
+	return int(h[0]) | int(h[1])<<8 | int(h[2])<<16, nil
+}
+
+// ReadPacket reads one logical packet, reassembling continuation
+// frames. If the total exceeds maxTotal the remaining frames are read
+// and discarded (keeping the stream framed) and ErrPacketTooLarge is
+// returned.
+func (c *Conn) ReadPacket() ([]byte, error) {
+	var payload []byte
+	total := 0
+	oversized := false
+	for {
+		n, err := c.readHeader()
+		if err != nil {
+			return nil, err
+		}
+		total += n
+		if !oversized && c.maxTotal > 0 && total > c.maxTotal {
+			oversized = true
+		}
+		if oversized {
+			if _, err := io.CopyN(io.Discard, c.br, int64(n)); err != nil {
+				return nil, err
+			}
+		} else {
+			frame := make([]byte, n)
+			if _, err := io.ReadFull(c.br, frame); err != nil {
+				return nil, err
+			}
+			payload = append(payload, frame...)
+		}
+		if n < c.maxPayload {
+			break
+		}
+	}
+	if oversized {
+		return nil, ErrPacketTooLarge
+	}
+	return payload, nil
+}
+
+// WritePacket writes one logical packet, splitting it into frames at
+// the split threshold and flushing the connection. A payload that is an
+// exact multiple of the threshold is terminated by an empty frame, as
+// the protocol requires.
+func (c *Conn) WritePacket(payload []byte) error {
+	for len(payload) >= c.maxPayload {
+		if err := c.writeFrame(payload[:c.maxPayload]); err != nil {
+			return err
+		}
+		payload = payload[c.maxPayload:]
+	}
+	if err := c.writeFrame(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) writeFrame(p []byte) error {
+	h := [4]byte{byte(len(p)), byte(len(p) >> 8), byte(len(p) >> 16), c.seq}
+	c.seq++
+	if _, err := c.bw.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := c.bw.Write(p)
+	return err
+}

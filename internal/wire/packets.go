@@ -1,0 +1,135 @@
+package wire
+
+import "fmt"
+
+// SQLError is a decoded ERR packet; the client surfaces it as the
+// statement error, mirroring how real drivers report server errors.
+type SQLError struct {
+	Code    uint16
+	State   string
+	Message string
+}
+
+func (e *SQLError) Error() string {
+	return fmt.Sprintf("ERROR %d (%s): %s", e.Code, e.State, e.Message)
+}
+
+// Error codes (the subset this server emits), with the SQLSTATE each
+// maps to. The values follow the MySQL numbering so off-the-shelf
+// tooling classifies them sensibly.
+const (
+	CodeTooManyConns     = 1040 // 08004
+	CodeAccessDenied     = 1045 // 28000
+	CodeUnknownDB        = 1049 // 42000
+	CodeNoDatabase       = 1046 // 3D000
+	CodeUnknownCommand   = 1047 // 08S01
+	CodeServerShutdown   = 1053 // 08S01
+	CodeDupIndex         = 1061 // 42000
+	CodeParse            = 1064 // 42000
+	CodeIndexNotFound    = 1091 // 42000
+	CodeUnknownError     = 1105 // HY000
+	CodeTableNotFound    = 1146 // 42S02
+	CodePacketTooLarge   = 1153 // 08S01
+	CodeLockWait         = 1205 // HY000
+	CodeUnknownStmt      = 1243 // HY000
+	CodeQueryInterrupted = 1317 // 70100
+	CodeDiskFull         = 1021 // HY000
+	CodeColumnInUse      = 1553 // HY000
+	CodeMalformedPacket  = 1835 // HY000
+)
+
+// sqlState maps an error code to its SQLSTATE.
+func sqlState(code uint16) string {
+	switch code {
+	case CodeTooManyConns, CodeUnknownCommand, CodeServerShutdown, CodePacketTooLarge:
+		return "08S01"
+	case CodeAccessDenied:
+		return "28000"
+	case CodeUnknownDB, CodeDupIndex, CodeParse, CodeIndexNotFound:
+		return "42000"
+	case CodeNoDatabase:
+		return "3D000"
+	case CodeTableNotFound:
+		return "42S02"
+	case CodeQueryInterrupted:
+		return "70100"
+	default:
+		return "HY000"
+	}
+}
+
+// EncodeErr renders an ERR packet with the code's SQLSTATE.
+func EncodeErr(code uint16, message string) []byte {
+	b := []byte{0xff}
+	b = appendUint16(b, code)
+	b = append(b, '#')
+	b = append(b, sqlState(code)...)
+	return append(b, message...)
+}
+
+// ParseErr decodes an ERR packet payload (first byte 0xff).
+func ParseErr(p []byte) *SQLError {
+	r := newReader(p)
+	r.skip(1)
+	e := &SQLError{Code: r.uint16()}
+	if r.remaining() > 0 && r.b[r.off] == '#' {
+		r.skip(1)
+		e.State = string(r.bytes(5))
+	} else {
+		e.State = "HY000"
+	}
+	e.Message = string(r.rest())
+	if !r.ok() {
+		return &SQLError{Code: CodeUnknownError, State: "HY000", Message: "malformed ERR packet"}
+	}
+	return e
+}
+
+// OK carries the interesting fields of an OK packet.
+type OK struct {
+	AffectedRows uint64
+	LastInsertID uint64
+	Warnings     uint16
+}
+
+// EncodeOK renders an OK packet.
+func EncodeOK(ok OK) []byte {
+	b := []byte{0x00}
+	b = appendLenencInt(b, ok.AffectedRows)
+	b = appendLenencInt(b, ok.LastInsertID)
+	b = appendUint16(b, statusAutocommit)
+	b = appendUint16(b, ok.Warnings)
+	return b
+}
+
+// ParseOK decodes an OK packet payload (first byte 0x00).
+func ParseOK(p []byte) (*OK, error) {
+	r := newReader(p)
+	r.skip(1)
+	ok := &OK{AffectedRows: r.lenencInt(), LastInsertID: r.lenencInt()}
+	r.skip(2) // status
+	if r.remaining() >= 2 {
+		ok.Warnings = r.uint16()
+	}
+	if !r.ok() {
+		return nil, fmt.Errorf("wire: malformed OK packet")
+	}
+	return ok, nil
+}
+
+// EncodeEOF renders a classic EOF packet.
+func EncodeEOF() []byte {
+	b := []byte{0xfe}
+	b = appendUint16(b, 0) // warnings
+	b = appendUint16(b, statusAutocommit)
+	return b
+}
+
+// IsEOF reports whether a payload is a classic EOF packet.
+func IsEOF(p []byte) bool { return len(p) > 0 && len(p) < 9 && p[0] == 0xfe }
+
+// IsErr reports whether a payload is an ERR packet.
+func IsErr(p []byte) bool { return len(p) > 0 && p[0] == 0xff }
+
+// IsOK reports whether a payload is an OK packet.
+func IsOK(p []byte) bool { return len(p) > 0 && p[0] == 0x00 }

@@ -1,0 +1,71 @@
+// Package wire implements a MySQL-style client/server wire protocol
+// (protocol 41, mysql_native_password) over plain TCP, stdlib-only.
+// It is the codec layer of the serving path: packet framing with
+// sequence tracking and 16MB-payload continuation, length-encoded
+// integers and strings, the v10 handshake, textual and binary
+// resultset encoding, and COM_STMT_EXECUTE parameter codecs. The
+// session/state layer on top of it lives in internal/serve; an in-repo
+// client (used by cmd/sqlload, benchmarks and tests) lives in
+// client.go.
+//
+// The surface is deliberately the useful subset, faithful where it is
+// implemented: COM_QUERY, COM_INIT_DB, COM_PING, COM_QUIT and the
+// prepared-statement trio COM_STMT_PREPARE / COM_STMT_EXECUTE /
+// COM_STMT_CLOSE, with classic EOF-delimited resultsets (the
+// DEPRECATE_EOF capability is not negotiated). See ARCHITECTURE.md
+// "Serving path".
+//
+// This package is on the wallclock analyzer's sanctioned list: real
+// network connections need real read deadlines.
+package wire
+
+// Command bytes (first payload byte of a client command packet).
+const (
+	ComQuit        = 0x01
+	ComInitDB      = 0x02
+	ComQuery       = 0x03
+	ComPing        = 0x0e
+	ComStmtPrepare = 0x16
+	ComStmtExecute = 0x17
+	ComStmtClose   = 0x19
+)
+
+// Capability flags (the subset this implementation negotiates or
+// inspects).
+const (
+	CapLongPassword     = 0x00000001
+	CapConnectWithDB    = 0x00000008
+	CapProtocol41       = 0x00000200
+	CapSecureConnection = 0x00008000
+	CapPluginAuth       = 0x00080000
+	CapPluginAuthLenenc = 0x00200000
+)
+
+// serverCaps is the capability set both ends of the in-repo
+// implementation speak.
+const serverCaps = CapLongPassword | CapConnectWithDB | CapProtocol41 |
+	CapSecureConnection | CapPluginAuth
+
+// ServerCaps returns the capability set this implementation negotiates.
+func ServerCaps() uint32 { return serverCaps }
+
+// Column type bytes (the subset the engine's value kinds map onto, plus
+// the numeric widths clients may bind parameters with).
+const (
+	TypeTiny      = 0x01
+	TypeShort     = 0x02
+	TypeLong      = 0x03
+	TypeFloat     = 0x04
+	TypeDouble    = 0x05
+	TypeNull      = 0x06
+	TypeLonglong  = 0x08
+	TypeVarchar   = 0x0f
+	TypeVarString = 0xfd
+	TypeString    = 0xfe
+)
+
+// utf8Charset is utf8_general_ci, the charset advertised everywhere.
+const utf8Charset = 33
+
+// statusAutocommit is the only status flag this server ever sets.
+const statusAutocommit = 0x0002

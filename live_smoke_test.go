@@ -1,0 +1,143 @@
+package autoindex
+
+// Live-traffic smoke test: build the real binaries, boot autoindexd
+// with both listeners, drive it with sqlload over the MySQL-style wire
+// protocol, and watch /livestats until the captured traffic has flowed
+// into the tuner. This is the one test that exercises the shipped
+// artifacts end to end, processes and all.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	sqlAddrRe  = regexp.MustCompile(`serving SQL protocol on (\S+)`)
+	httpAddrRe = regexp.MustCompile(`serving management API on (\S+)`)
+)
+
+func TestLiveTrafficSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	autoindexd := filepath.Join(dir, "autoindexd")
+	sqlload := filepath.Join(dir, "sqlload")
+	for bin, pkg := range map[string]string{autoindexd: "./cmd/autoindexd", sqlload: "./cmd/sqlload"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	srv := exec.Command(autoindexd,
+		"-databases", "2", "-days", "1", "-stmts", "8", "-seed", "42",
+		"-listen", "127.0.0.1:0", "-sql-listen", "127.0.0.1:0", "-live-step", "150ms")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	})
+
+	// The daemon prints its listener addresses once the simulated run
+	// finishes; scan stdout for both.
+	addrs := make(chan [2]string, 1)
+	go func() {
+		var sqlAddr, httpAddr string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := sqlAddrRe.FindStringSubmatch(line); m != nil {
+				sqlAddr = m[1]
+			}
+			if m := httpAddrRe.FindStringSubmatch(line); m != nil {
+				httpAddr = m[1]
+			}
+			if sqlAddr != "" && httpAddr != "" {
+				addrs <- [2]string{sqlAddr, httpAddr}
+				sqlAddr, httpAddr = "", ""
+			}
+		}
+	}()
+	var sqlAddr, httpAddr string
+	select {
+	case a := <-addrs:
+		sqlAddr, httpAddr = a[0], a[1]
+	case <-time.After(120 * time.Second):
+		t.Fatal("autoindexd did not announce its listeners")
+	}
+
+	load := exec.Command(sqlload,
+		"-addr", sqlAddr, "-db", "db000", "-fleet-seed", "42",
+		"-conns", "2", "-stmts", "60", "-prepared", "0.3")
+	if out, err := load.CombinedOutput(); err != nil {
+		t.Fatalf("sqlload: %v\n%s", err, out)
+	}
+
+	// Poll /livestats until the live statements are visible in db000's
+	// Query Store and at least one tuning pass has mined live workload.
+	type dbStats struct {
+		Name           string `json:"name"`
+		LiveExecutions int64  `json:"live_executions"`
+	}
+	type liveStats struct {
+		AnalysisLivePasses int64 `json:"analysis_live_passes"`
+		Capture            struct {
+			Statements int64 `json:"statements"`
+		} `json:"capture"`
+		Databases []dbStats `json:"databases"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var last liveStats
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("live traffic never reached the tuner: %+v", last)
+		}
+		resp, err := http.Get(fmt.Sprintf("http://%s/livestats", httpAddr))
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&last)
+			resp.Body.Close()
+			if err == nil {
+				var live int64
+				for _, d := range last.Databases {
+					if d.Name == "db000" {
+						live = d.LiveExecutions
+					}
+				}
+				if live >= 60 && last.Capture.Statements >= 60 && last.AnalysisLivePasses >= 1 {
+					break
+				}
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// SIGTERM must drain both servers and exit cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("autoindexd exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("autoindexd did not exit after SIGTERM")
+	}
+}
