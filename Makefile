@@ -72,15 +72,19 @@ bench-gate:
 	@cp BENCH_fleet.json .bench_baseline.json
 	@cp BENCH_recommender.json .bench_rec_baseline.json
 	@cp BENCH_serve.json .bench_serve_baseline.json
-	$(GO) test -bench='BenchmarkFleetParallel|BenchmarkRecommenderLatency' -benchtime=1x -run '^$$' ./internal/fleet
+	@cp BENCH_fleet_scale.json .bench_scale_baseline.json
+	$(GO) test -bench='BenchmarkFleetParallel|BenchmarkRecommenderLatency|BenchmarkFleetScale' -benchtime=1x -run '^$$' ./internal/fleet
 	$(GO) test -bench='BenchmarkServeThroughput' -benchtime=1x -run '^$$' ./internal/serve
+	$(GO) test -run 'TestScaleMemoryBudget' -count=1 ./internal/fleet
 	@$(GO) run ./cmd/benchdiff .bench_baseline.json BENCH_fleet.json; \
 		fleet=$$?; mv .bench_baseline.json BENCH_fleet.json; \
 		$(GO) run ./cmd/benchdiff .bench_rec_baseline.json BENCH_recommender.json; \
 		rec=$$?; mv .bench_rec_baseline.json BENCH_recommender.json; \
 		$(GO) run ./cmd/benchdiff .bench_serve_baseline.json BENCH_serve.json; \
 		serve=$$?; mv .bench_serve_baseline.json BENCH_serve.json; \
-		exit $$((fleet + rec + serve))
+		$(GO) run ./cmd/benchdiff .bench_scale_baseline.json BENCH_fleet_scale.json; \
+		scale=$$?; mv .bench_scale_baseline.json BENCH_fleet_scale.json; \
+		exit $$((fleet + rec + serve + scale))
 
 # Live-traffic smoke test: builds the autoindexd and sqlload binaries,
 # boots the daemon with both listeners, replays wire-protocol traffic
@@ -94,4 +98,4 @@ ci: check race cover smoke bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json .bench_serve_baseline.json
+	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json .bench_serve_baseline.json .bench_scale_baseline.json

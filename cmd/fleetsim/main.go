@@ -5,6 +5,11 @@
 //	fleetsim -experiment fig6 -tier standard -databases 20  // Fig 6(b)
 //	fleetsim -experiment opstats -databases 12 -days 10     // §8.1 operational stats
 //	fleetsim -experiment reverts -databases 12 -days 10     // §8.1 revert analysis
+//	fleetsim -experiment scale -tenants 100000 -hours 24    // 100k-tenant scale mode
+//
+// Scale mode stamps tenants copy-on-write from shared archetypes,
+// hibernates idle tenants past the -resident-tenants cap, and streams one
+// line per tenant as it completes; see ARCHITECTURE.md "Fleet at scale".
 //
 // Tenants are sharded across a worker pool (-workers, default one per
 // CPU); results are bit-identical at any worker count for the same seed,
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -34,10 +40,16 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "fig6", "fig6 | opstats | reverts")
+		exp        = flag.String("experiment", "fig6", "fig6 | opstats | reverts | scale")
 		tierStr    = flag.String("tier", "premium", "fig6 tier: premium | standard")
-		databases  = flag.Int("databases", 12, "fleet size")
+		databases  = flag.Int("databases", 12, "fleet size (fig6/opstats/reverts)")
 		days       = flag.Int("days", 10, "virtual days (opstats/reverts)")
+		tenants    = flag.Int("tenants", 100_000, "scale-mode fleet size")
+		hours      = flag.Int("hours", 24, "scale-mode virtual hours")
+		archetypes = flag.Int("archetypes", 4, "scale-mode tenant archetypes")
+		residents  = flag.Int("resident-tenants", 4096, "scale-mode resident-set cap (<=0: unlimited, hibernation off)")
+		activeFrac = flag.Float64("active-fraction", 0.002, "scale-mode per-tenant per-hour activity probability")
+		dataScale  = flag.Float64("scale", 1.0, "scale-mode archetype data-size multiplier (smaller = faster, lighter tenants)")
 		seed       = flag.Int64("seed", 20170301, "fleet seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "tenant worker pool size (results are identical at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -75,6 +87,8 @@ func main() {
 		runOps(*databases, *days, *seed, *workers, false, chaos, *metricsOut)
 	case "reverts":
 		runOps(*databases, *days, *seed, *workers, true, chaos, *metricsOut)
+	case "scale":
+		runScale(*tenants, *hours, *archetypes, *residents, *activeFrac, *dataScale, *seed, *workers, chaos, *metricsOut)
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -143,6 +157,53 @@ func runFig6(tierStr string, databases int, seed int64, workers int, metricsOut 
 	fmt.Println("paper reference — premium: DTA 42% / MI 13% / User 15% / Comparable ~42%;")
 	fmt.Println("                  standard: DTA 27% / MI 6% / User 10% / Comparable ~45%;")
 	fmt.Println("                  avg improvement: DTA ~82%, MI ~72%, User ~35% (§7.3)")
+}
+
+// runScale drives the 100k+-tenant scale mode. Per-tenant completion
+// lines stream to stdout as tenants finish, followed by the deterministic
+// summary; residency counters (which measure the hibernation machinery
+// and depend on -resident-tenants and the host) go to stderr with the
+// phase timers. stdout is byte-identical at any -workers count and any
+// -resident-tenants cap for the same seed and flags.
+func runScale(tenants, hours, archetypes, residents int, activeFrac, dataScale float64, seed int64, workers int, chaos fleet.ChaosConfig, metricsOut string) {
+	fmt.Printf("fleet scale mode: %d tenants, %d archetypes, %d virtual hours (seed %d)\n\n",
+		tenants, archetypes, hours, seed)
+	spec := fleet.DefaultScaleSpec(tenants, hours)
+	spec.Archetypes = archetypes
+	spec.ResidentTenants = residents
+	spec.ActiveFraction = activeFrac
+	spec.Scale = dataScale
+	spec.Seed = seed
+	spec.Workers = workers
+	spec.Chaos = chaos
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	spec.Stream = out
+	run := startPhase("run")
+	res, err := fleet.RunScale(spec)
+	run.done()
+	if err != nil {
+		out.Flush()
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, res.Report())
+	if res.Chaos != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.Chaos.Format())
+	}
+	out.Flush()
+	fmt.Fprint(os.Stderr, res.ResidencyReport())
+	if metricsOut != "" {
+		b, err := res.Metrics.MarshalDeterministic()
+		if err == nil {
+			err = os.WriteFile(metricsOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: metrics-out:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func runOps(databases, days int, seed int64, workers int, revertFocus bool, chaos fleet.ChaosConfig, metricsOut string) {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -40,6 +41,11 @@ type Loader struct {
 	fset       *token.FileSet
 	moduleRoot string
 	modulePath string
+	// buildCtx decides which files belong to the build (GOOS/GOARCH
+	// suffixes, //go:build constraints), mirroring the go tool's default
+	// context: tags like "race" are unset, so exactly one file of a
+	// tag-guarded pair is loaded.
+	buildCtx build.Context
 
 	std    types.Importer
 	srcImp types.Importer
@@ -76,6 +82,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 		fset:       fset,
 		moduleRoot: moduleRoot,
 		modulePath: modPath,
+		buildCtx:   build.Default,
 		std:        importer.Default(),
 		srcImp:     importer.ForCompiler(fset, "source", nil),
 		canon:      make(map[string]*canonPkg),
@@ -126,9 +133,12 @@ func (l *Loader) loadCanonical(path, dir string) (*types.Package, error) {
 	return c.pkg, c.err
 }
 
-// parseDir parses every .go file in dir (non-recursive), split into
-// the base package's files, its in-package test files, and external
-// (_test-suffixed package) test files.
+// parseDir parses every .go file in dir (non-recursive) that the
+// default build context would compile, split into the base package's
+// files, its in-package test files, and external (_test-suffixed
+// package) test files. Build-constraint evaluation matters: tag pairs
+// like //go:build race / !race declare the same symbol in two files,
+// and only one of them belongs to any given build.
 func (l *Loader) parseDir(dir string) (base, inTest, extTest []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -138,6 +148,9 @@ func (l *Loader) parseDir(dir string) (base, inTest, extTest []*ast.File, err er
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if ok, merr := l.buildCtx.MatchFile(dir, n); merr != nil || !ok {
 			continue
 		}
 		names = append(names, n)

@@ -346,3 +346,104 @@ func (t *Tree) CheckInvariants() error {
 	}
 	return nil
 }
+
+// DumpedNode is the serializable form of one node, produced by Dump and
+// consumed by Load. Children are indices into the dumped node list.
+type DumpedNode struct {
+	Leaf     bool
+	Keys     []value.Key
+	Payloads []value.Row // leaf only, parallel to Keys
+	Children []int       // interior only, len(Keys)+1
+}
+
+// Dump flattens the tree into its exact structural form, nodes in
+// preorder with the root at index 0. Because deletes never rebalance,
+// the shape of a tree is history-dependent — Height and LeafCount feed
+// optimizer cost estimates — so hibernation must round-trip structure
+// exactly, not just the entry set. Load(Dump()) reproduces the tree
+// node for node.
+func (t *Tree) Dump() []DumpedNode {
+	var out []DumpedNode
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		idx := len(out)
+		out = append(out, DumpedNode{Leaf: n.leaf, Keys: n.keys, Payloads: n.payloads})
+		if !n.leaf {
+			children := make([]int, len(n.children))
+			for i, c := range n.children {
+				children[i] = walk(c)
+			}
+			out[idx].Children = children
+		}
+		return idx
+	}
+	walk(t.root)
+	return out
+}
+
+// Load reconstructs a tree from Dump output, validating the structural
+// shape (index ranges, single-use children, arity) and relinking the
+// leaf chain in left-to-right order. It does not verify key ordering;
+// callers decoding untrusted bytes should follow with CheckInvariants.
+func Load(order int, nodes []DumpedNode) (*Tree, error) {
+	if order < 4 {
+		order = 4
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("btree: empty dump")
+	}
+	built := make([]*node, len(nodes))
+	used := make([]bool, len(nodes))
+	for i, d := range nodes {
+		if d.Leaf {
+			if len(d.Payloads) != len(d.Keys) || len(d.Children) != 0 {
+				return nil, fmt.Errorf("btree: malformed leaf node %d", i)
+			}
+		} else {
+			if len(d.Children) != len(d.Keys)+1 || len(d.Payloads) != 0 {
+				return nil, fmt.Errorf("btree: malformed interior node %d", i)
+			}
+		}
+		built[i] = &node{leaf: d.Leaf, keys: d.Keys, payloads: d.Payloads}
+	}
+	size := 0
+	var prevLeaf *node
+	var link func(i int) (*node, error)
+	link = func(i int) (*node, error) {
+		if i < 0 || i >= len(nodes) || used[i] {
+			return nil, fmt.Errorf("btree: bad child index %d", i)
+		}
+		used[i] = true
+		n := built[i]
+		if n.leaf {
+			size += len(n.keys)
+			if prevLeaf != nil {
+				prevLeaf.next = n
+			}
+			prevLeaf = n
+			return n, nil
+		}
+		n.children = make([]*node, len(nodes[i].Children))
+		for j, c := range nodes[i].Children {
+			child, err := link(c)
+			if err != nil {
+				return nil, err
+			}
+			n.children[j] = child
+		}
+		return n, nil
+	}
+	root, err := link(0)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("btree: orphan node %d", i)
+		}
+	}
+	return &Tree{order: order, root: root, size: size}, nil
+}
+
+// Order returns the tree's fan-out, for serialization.
+func (t *Tree) Order() int { return t.order }

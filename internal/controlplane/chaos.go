@@ -74,13 +74,19 @@ func NewCrashRunner(plane *ControlPlane, rebuild func() *ControlPlane) *CrashRun
 
 // Step runs one control-plane step, recovering any crashes by rebuilding
 // the plane and retrying until a step completes without crashing.
-func (r *CrashRunner) Step() {
+func (r *CrashRunner) Step() { r.StepFor(nil) }
+
+// StepFor is Step over a filtered control-plane step (see
+// ControlPlane.StepFor), with the same crash-recovery loop. The scale
+// harness drives chaos runs through it so only resident tenants are
+// stepped even across crash/rebuild cycles.
+func (r *CrashRunner) StepFor(include func(string) bool) {
 	max := r.MaxRestarts
 	if max <= 0 {
 		max = 1000
 	}
 	for i := 0; i <= max; i++ {
-		if r.tryStep() {
+		if r.tryStep(include) {
 			return
 		}
 		r.Plane = r.Rebuild()
@@ -94,7 +100,7 @@ func (r *CrashRunner) Step() {
 // tryStep runs one step, converting a faults.Crash panic into a false
 // return. Any other panic propagates: chaos mode must not paper over a
 // genuine bug.
-func (r *CrashRunner) tryStep() (completed bool) {
+func (r *CrashRunner) tryStep(include func(string) bool) (completed bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			c, ok := rec.(faults.Crash)
@@ -105,6 +111,6 @@ func (r *CrashRunner) tryStep() (completed bool) {
 			completed = false
 		}
 	}()
-	r.Plane.Step()
+	r.Plane.stepFiltered(include)
 	return true
 }

@@ -226,19 +226,53 @@ func (cp *ControlPlane) sortedManaged() []*managed {
 
 // Step advances every micro-service by one round. Fleet simulations
 // interleave Step with workload replay; RunLoop drives it on wall time.
-func (cp *ControlPlane) Step() {
+func (cp *ControlPlane) Step() { cp.stepFiltered(nil) }
+
+// StepFor advances the micro-services for the subset of managed databases
+// accepted by include, which is called with lowercased database names.
+// The per-database work and its order are exactly Step restricted to that
+// subset: excluded databases are skipped wholesale, included ones see the
+// identical service sequence. The fleet's scale mode steps only tenants
+// that replayed workload this hour or still carry a live recommendation
+// record; because that include set is a function of the activity model and
+// the persisted records — never of which tenants happen to be resident —
+// a filtered run stays bit-identical under any hibernation pressure.
+// A nil include means every database, i.e. StepFor(nil) == Step().
+func (cp *ControlPlane) StepFor(include func(name string) bool) {
+	cp.stepFiltered(include)
+}
+
+func (cp *ControlPlane) stepFiltered(include func(string) bool) {
 	start := cp.clock.Now()
-	cp.snapshotService()
-	cp.analysisService()
-	cp.dropScanService()
-	cp.implementService()
-	cp.validationService()
-	cp.revertService()
-	cp.expiryService()
-	cp.healthService()
+	cp.snapshotService(include)
+	cp.analysisService(include)
+	cp.dropScanService(include)
+	cp.implementService(include)
+	cp.validationService(include)
+	cp.revertService(include)
+	cp.expiryService(include)
+	cp.healthService(include)
 	// Index builds and what-if costing advance virtual time, so this is
 	// the tuning work one step imposed on the fleet's clock.
 	cp.reg.Histogram(descStepMillis).ObserveDuration(cp.clock.Now().Sub(start))
+}
+
+// stepIncludes reports whether a database participates in a filtered step.
+func stepIncludes(include func(string) bool, name string) bool {
+	return include == nil || include(strings.ToLower(name))
+}
+
+// DatabasesWithOpenRecords returns the lowercased names of databases that
+// hold at least one non-terminal recommendation record. The scale loop
+// keeps these tenants stepped (and therefore resident) even in hours the
+// activity model leaves them idle, so every in-flight state machine
+// advances on the same schedule regardless of hibernation pressure.
+func (cp *ControlPlane) DatabasesWithOpenRecords() map[string]bool {
+	open := make(map[string]bool)
+	for _, r := range cp.store.Records(func(r *Record) bool { return !r.State.Terminal() }) {
+		open[strings.ToLower(r.Database)] = true
+	}
+	return open
 }
 
 // RunLoop drives Step every interval until stop is closed (for the daemon
@@ -258,9 +292,12 @@ func (cp *ControlPlane) RunLoop(interval time.Duration, stop <-chan struct{}) {
 // ---- micro-services ----
 
 // snapshotService takes periodic MI DMV snapshots (§5.2).
-func (cp *ControlPlane) snapshotService() {
+func (cp *ControlPlane) snapshotService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, m := range cp.sortedManaged() {
+		if !stepIncludes(include, m.db.Name()) {
+			continue
+		}
 		ds, ok := cp.store.GetDatabase(m.db.Name())
 		if !ok {
 			continue
@@ -277,9 +314,12 @@ func (cp *ControlPlane) snapshotService() {
 
 // analysisService invokes the configured recommender per database and
 // files Active create recommendations.
-func (cp *ControlPlane) analysisService() {
+func (cp *ControlPlane) analysisService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, m := range cp.sortedManaged() {
+		if !stepIncludes(include, m.db.Name()) {
+			continue
+		}
 		ds, ok := cp.store.GetDatabase(m.db.Name())
 		if !ok || now.Sub(ds.LastAnalysis) < cp.cfg.AnalyzeEvery {
 			continue
@@ -452,9 +492,12 @@ func (cp *ControlPlane) fileCreateRecommendation(m *managed, c core.Candidate, n
 }
 
 // dropScanService runs the §5.4 drop analysis on its own cadence.
-func (cp *ControlPlane) dropScanService() {
+func (cp *ControlPlane) dropScanService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, m := range cp.sortedManaged() {
+		if !stepIncludes(include, m.db.Name()) {
+			continue
+		}
 		ds, ok := cp.store.GetDatabase(m.db.Name())
 		if !ok || now.Sub(ds.LastDropScan) < cp.cfg.DropScanEvery {
 			continue

@@ -39,7 +39,7 @@ func minInt(a, b int) int {
 // implementService implements Active recommendations whose database allows
 // it (auto-implement on, or the user requested it), and drives Retry
 // records back into their target step.
-func (cp *ControlPlane) implementService() {
+func (cp *ControlPlane) implementService(include func(string) bool) {
 	if !cp.implementAllowedNow() {
 		// Outside the maintenance window: implementations wait (§8.2).
 		return
@@ -47,7 +47,7 @@ func (cp *ControlPlane) implementService() {
 	now := cp.clock.Now()
 	// Retry records first: resume the failed step after backoff.
 	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateRetry }) {
-		if !cp.nextAttemptDue(r, now) {
+		if !stepIncludes(include, r.Database) || !cp.nextAttemptDue(r, now) {
 			continue
 		}
 		target := r.RetryTarget
@@ -61,6 +61,9 @@ func (cp *ControlPlane) implementService() {
 	}
 
 	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateActive }) {
+		if !stepIncludes(include, r.Database) {
+			continue
+		}
 		m, ok := cp.managedDB(r.Database)
 		if !ok {
 			continue
@@ -86,7 +89,7 @@ func (cp *ControlPlane) implementService() {
 
 	// Records sitting in Implementing (e.g., resumed from Retry) execute.
 	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateImplementing }) {
-		if r.SubState == "executed" {
+		if !stepIncludes(include, r.Database) || r.SubState == "executed" {
 			continue
 		}
 		m, ok := cp.managedDB(r.Database)
@@ -227,10 +230,10 @@ func (cp *ControlPlane) handleImplementError(r *Record, err error, failedAt RecS
 
 // validationService validates records whose post-implementation window has
 // elapsed, reverting on detected regressions (§6).
-func (cp *ControlPlane) validationService() {
+func (cp *ControlPlane) validationService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateValidating }) {
-		if now.Sub(r.ImplementedAt) < cp.cfg.ValidationWindow {
+		if !stepIncludes(include, r.Database) || now.Sub(r.ImplementedAt) < cp.cfg.ValidationWindow {
 			continue
 		}
 		m, ok := cp.managedDB(r.Database)
@@ -307,9 +310,12 @@ func (cp *ControlPlane) classifyRevert(m *managed, r *Record, outcome *validate.
 // revertService executes pending reverts: drop the created index or
 // recreate the dropped one, always at low lock priority with retries
 // (§8.3).
-func (cp *ControlPlane) revertService() {
+func (cp *ControlPlane) revertService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, r := range cp.store.Records(func(r *Record) bool { return r.State == StateReverting }) {
+		if !stepIncludes(include, r.Database) {
+			continue
+		}
 		m, ok := cp.managedDB(r.Database)
 		if !ok {
 			continue
@@ -350,10 +356,15 @@ func (cp *ControlPlane) revertService() {
 // expiryService expires stale Active recommendations (age-based TTL) and
 // Active recommendations invalidated by a newer one on the same key
 // (§4's Expired state).
-func (cp *ControlPlane) expiryService() {
+func (cp *ControlPlane) expiryService(include func(string) bool) {
 	now := cp.clock.Now()
 	active := cp.store.Records(func(r *Record) bool { return r.State == StateActive })
 	for _, r := range active {
+		// The invalidation scan below only compares same-database records,
+		// so filtering the outer loop filters the whole service.
+		if !stepIncludes(include, r.Database) {
+			continue
+		}
 		if now.Sub(r.CreatedAt) > cp.cfg.RecommendationTTL {
 			r.SubState = "aged-out"
 			_ = cp.transition(r, StateExpired, now)
@@ -378,12 +389,12 @@ func (cp *ControlPlane) expiryService() {
 
 // healthService detects stuck non-terminal records and raises incidents
 // with a final retry (§4's health micro-service).
-func (cp *ControlPlane) healthService() {
+func (cp *ControlPlane) healthService(include func(string) bool) {
 	now := cp.clock.Now()
 	for _, r := range cp.store.Records(func(r *Record) bool {
 		return !r.State.Terminal() && r.State != StateActive
 	}) {
-		if now.Sub(r.UpdatedAt) <= cp.cfg.StuckAfter {
+		if !stepIncludes(include, r.Database) || now.Sub(r.UpdatedAt) <= cp.cfg.StuckAfter {
 			continue
 		}
 		cp.incident(r.Database, r.ID, "stuck-recommendation",

@@ -187,6 +187,23 @@ func (c *Cache) Invalidate(reason Reason) int {
 	return n
 }
 
+// Reset drops every entry without touching the invalidation counters.
+// It exists for tenant parking at fleet hour barriers: a tenant going
+// idle resets its cache deterministically whether or not it is then
+// hibernated, so cache contents — and therefore every subsequent
+// counter movement — are identical with and without hibernation
+// pressure. Invalidation events remain reserved for the semantic
+// triggers (stats/schema/data changes).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() == 0 {
+		return
+	}
+	c.byKey = make(map[Key]*list.Element)
+	c.lru.Init()
+}
+
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

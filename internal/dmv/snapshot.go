@@ -1,0 +1,220 @@
+package dmv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"autoindex/internal/snap"
+)
+
+// EncodeTo serializes the missing-index store (entries in ascending
+// candidate-key order plus the reset counter) for tenant hibernation.
+func (s *MissingIndexStore) EncodeTo(w *snap.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Varint(s.resets)
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e := s.entries[k]
+		w.String(e.Candidate.Table)
+		encodeStrings(w, e.Candidate.Equality)
+		encodeStrings(w, e.Candidate.Inequality)
+		encodeStrings(w, e.Candidate.Include)
+		w.Varint(e.Seeks)
+		w.Float(e.AvgQueryCost)
+		w.Float(e.AvgImprovementPct)
+		hashes := make([]uint64, 0, len(e.QueryHashes))
+		for h := range e.QueryHashes {
+			hashes = append(hashes, h)
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		w.Uvarint(uint64(len(hashes)))
+		for _, h := range hashes {
+			w.Uvarint(h)
+			w.Varint(e.QueryHashes[h])
+		}
+		w.Varint(e.FirstSeen.UnixNano())
+		w.Varint(e.LastSeen.UnixNano())
+	}
+}
+
+// DecodeFrom replaces the store's state with the decoded snapshot,
+// restoring in place so recommender references stay valid.
+func (s *MissingIndexStore) DecodeFrom(r *snap.Reader) error {
+	resets, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	n, err := r.Len()
+	if err != nil {
+		return err
+	}
+	entries := make(map[string]*Entry, n)
+	for i := 0; i < n; i++ {
+		e := &Entry{}
+		if e.Candidate.Table, err = r.String(); err != nil {
+			return err
+		}
+		if e.Candidate.Equality, err = decodeStrings(r); err != nil {
+			return err
+		}
+		if e.Candidate.Inequality, err = decodeStrings(r); err != nil {
+			return err
+		}
+		if e.Candidate.Include, err = decodeStrings(r); err != nil {
+			return err
+		}
+		if e.Seeks, err = r.Varint(); err != nil {
+			return err
+		}
+		if e.AvgQueryCost, err = r.Float(); err != nil {
+			return err
+		}
+		if e.AvgImprovementPct, err = r.Float(); err != nil {
+			return err
+		}
+		nh, err := r.Len()
+		if err != nil {
+			return err
+		}
+		e.QueryHashes = make(map[uint64]int64, nh)
+		for j := 0; j < nh; j++ {
+			h, err := r.Uvarint()
+			if err != nil {
+				return err
+			}
+			c, err := r.Varint()
+			if err != nil {
+				return err
+			}
+			e.QueryHashes[h] = c
+		}
+		var ns int64
+		if ns, err = r.Varint(); err != nil {
+			return err
+		}
+		e.FirstSeen = time.Unix(0, ns).UTC()
+		if ns, err = r.Varint(); err != nil {
+			return err
+		}
+		e.LastSeen = time.Unix(0, ns).UTC()
+		k := e.Candidate.Key()
+		if _, dup := entries[k]; dup {
+			return fmt.Errorf("dmv: %w: duplicate candidate %q", snap.ErrCorrupt, k)
+		}
+		entries[k] = e
+	}
+	s.mu.Lock()
+	s.entries = entries
+	s.resets = resets
+	s.mu.Unlock()
+	return nil
+}
+
+// Release drops accumulated candidates while keeping the store shell.
+func (s *MissingIndexStore) Release() {
+	s.mu.Lock()
+	s.entries = nil
+	s.mu.Unlock()
+}
+
+// EncodeTo serializes index-usage rows in ascending index-name order.
+func (s *IndexUsageStore) EncodeTo(w *snap.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e := s.entries[k]
+		w.String(e.Index)
+		w.String(e.Table)
+		w.Varint(e.Seeks)
+		w.Varint(e.Scans)
+		w.Varint(e.Lookups)
+		w.Varint(e.Updates)
+		w.Varint(e.LastRead.UnixNano())
+	}
+}
+
+// DecodeFrom replaces the store's rows with the decoded snapshot.
+func (s *IndexUsageStore) DecodeFrom(r *snap.Reader) error {
+	n, err := r.Len()
+	if err != nil {
+		return err
+	}
+	entries := make(map[string]*IndexUsage, n)
+	for i := 0; i < n; i++ {
+		e := &IndexUsage{}
+		if e.Index, err = r.String(); err != nil {
+			return err
+		}
+		if e.Table, err = r.String(); err != nil {
+			return err
+		}
+		if e.Seeks, err = r.Varint(); err != nil {
+			return err
+		}
+		if e.Scans, err = r.Varint(); err != nil {
+			return err
+		}
+		if e.Lookups, err = r.Varint(); err != nil {
+			return err
+		}
+		if e.Updates, err = r.Varint(); err != nil {
+			return err
+		}
+		var ns int64
+		if ns, err = r.Varint(); err != nil {
+			return err
+		}
+		e.LastRead = time.Unix(0, ns).UTC()
+		k := strings.ToLower(e.Index)
+		if _, dup := entries[k]; dup {
+			return fmt.Errorf("dmv: %w: duplicate usage row %q", snap.ErrCorrupt, k)
+		}
+		entries[k] = e
+	}
+	s.mu.Lock()
+	s.entries = entries
+	s.mu.Unlock()
+	return nil
+}
+
+// Release drops accumulated rows while keeping the store shell.
+func (s *IndexUsageStore) Release() {
+	s.mu.Lock()
+	s.entries = nil
+	s.mu.Unlock()
+}
+
+func encodeStrings(w *snap.Writer, ss []string) {
+	w.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+func decodeStrings(r *snap.Reader) ([]string, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -311,7 +311,12 @@ func (d *Database) DropColumn(table, column string) error {
 			return true
 		})
 	}
-	t.def.Columns = newCols
+	// The definition may be shared copy-on-write with archetype siblings
+	// (see SeedTable); fork a private copy before mutating it so the drop
+	// is invisible to every other tenant stamped from the same template.
+	forked := cloneTableDef(t.def)
+	forked.Columns = newCols
+	t.def = forked
 	// Remaining indexes reference ordinals; rebuild their ordinal maps.
 	for _, ix := range d.indexes {
 		if !strings.EqualFold(ix.def.Table, table) {

@@ -1,0 +1,739 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"autoindex/internal/btree"
+	"autoindex/internal/schema"
+	"autoindex/internal/sim"
+	"autoindex/internal/snap"
+	"autoindex/internal/stats"
+	"autoindex/internal/storage"
+	"autoindex/internal/value"
+)
+
+// Park quiesces a resident database at a fleet hour barrier. The
+// plan-cost cache is reset unconditionally — whether or not the tenant is
+// then hibernated — so cache contents at every barrier are identical with
+// and without hibernation pressure; see costcache.Reset for the
+// determinism rationale. Lock leases self-expire well inside an hour and
+// need no treatment.
+func (d *Database) Park() {
+	d.costCache.Reset()
+}
+
+// Row tags in snapshots: a stored row is either written inline, aliased
+// into the shared catalog by stamp-order index, or absent (heap
+// tombstone).
+const (
+	rowInline = iota
+	rowShared
+	rowNil
+)
+
+// EncodeTo serializes the database's full mutable state in deterministic
+// order. Rows and objects physically shared with sc (the tenant's
+// archetype catalog) are written as references, which is both the
+// compactness and the re-aliasing half of copy-on-write hibernation; sc
+// may be nil, forcing everything inline. Runtime wiring — clock, config,
+// metrics registry, fault injector, stats hook, bulk sources, lock
+// manager, the Query Store shell — stays resident and is not serialized.
+func (d *Database) EncodeTo(w *snap.Writer, sc *SharedCatalog) {
+	d.mu.RLock()
+	w.Uvarint(d.rng.Pos())
+	w.Uvarint(d.noise.Pos())
+	w.Varint(d.dataVersion)
+	w.Varint(d.execCount)
+	w.Varint(d.failovers)
+	w.Varint(d.schemaChanges)
+	w.Varint(d.convoyBlocked)
+
+	svKeys := make([]string, 0, len(d.statsVersion))
+	for k := range d.statsVersion {
+		svKeys = append(svKeys, k)
+	}
+	sort.Strings(svKeys)
+	w.Uvarint(uint64(len(svKeys)))
+	for _, k := range svKeys {
+		w.String(k)
+		w.Varint(d.statsVersion[k])
+	}
+
+	tKeys := make([]string, 0, len(d.tables))
+	for k := range d.tables {
+		tKeys = append(tKeys, k)
+	}
+	sort.Strings(tKeys)
+	w.Uvarint(uint64(len(tKeys)))
+	for _, k := range tKeys {
+		t := d.tables[k]
+		w.String(k)
+		sharedDef := sc != nil && sc.tables[k] == t.def
+		w.Bool(sharedDef)
+		if !sharedDef {
+			encodeTableDef(w, t.def)
+		}
+		w.Varint(t.rowCount)
+		w.Bool(t.clustered != nil)
+		if t.clustered != nil {
+			encodeTree(w, t.clustered, sc, k)
+		} else {
+			rows, free, rowWidth := t.heap.Dump()
+			w.Uvarint(uint64(rowWidth))
+			w.Uvarint(uint64(len(rows)))
+			for _, row := range rows {
+				encodeRow(w, row, sc, k)
+			}
+			w.Uvarint(uint64(len(free)))
+			for _, rid := range free {
+				w.Varint(int64(rid))
+			}
+		}
+	}
+
+	ixKeys := make([]string, 0, len(d.indexes))
+	for k := range d.indexes {
+		ixKeys = append(ixKeys, k)
+	}
+	sort.Strings(ixKeys)
+	w.Uvarint(uint64(len(ixKeys)))
+	for _, k := range ixKeys {
+		ix := d.indexes[k]
+		w.String(k)
+		encodeIndexDef(w, ix.def)
+		w.Varint(ix.createdAt.UnixNano())
+		w.Varint(ix.sizeBytes)
+		// Key/include ordinals are recomputed from the definitions on
+		// decode; entry keys and payloads are always tenant-private.
+		encodeTree(w, ix.tree, nil, "")
+	}
+
+	stKeys := make([]string, 0, len(d.colStat))
+	for k := range d.colStat {
+		stKeys = append(stKeys, k)
+	}
+	sort.Strings(stKeys)
+	w.Uvarint(uint64(len(stKeys)))
+	for _, k := range stKeys {
+		st := d.colStat[k]
+		w.String(k)
+		shared := sc != nil && sc.stats[k] == st
+		w.Bool(shared)
+		if !shared {
+			st.EncodeTo(w)
+		}
+	}
+
+	ptHashes := make([]uint64, 0, len(d.planTxt))
+	for h := range d.planTxt {
+		ptHashes = append(ptHashes, h)
+	}
+	sort.Slice(ptHashes, func(i, j int) bool { return ptHashes[i] < ptHashes[j] })
+	w.Uvarint(uint64(len(ptHashes)))
+	for _, h := range ptHashes {
+		w.Uvarint(h)
+		w.String(d.planTxt[h])
+	}
+	d.mu.RUnlock()
+
+	d.qs.EncodeTo(w)
+	d.miDMV.EncodeTo(w)
+	d.usage.EncodeTo(w)
+}
+
+// DecodeFrom rehydrates the database from an EncodeTo snapshot, restoring
+// in place: the Database object, its Query Store, DMV stores, lock
+// manager and cost cache shells all stay resident, so control-plane and
+// chaos-harness pointers into them remain valid. The whole snapshot is
+// decoded and validated before any state is swapped in; on error the
+// database is left unchanged.
+func (d *Database) DecodeFrom(r *snap.Reader, sc *SharedCatalog) error {
+	rngPos, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	noisePos, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	dataVersion, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	execCount, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	failovers, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	schemaChanges, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	convoyBlocked, err := r.Varint()
+	if err != nil {
+		return err
+	}
+
+	nsv, err := r.Len()
+	if err != nil {
+		return err
+	}
+	statsVersion := make(map[string]int64, nsv)
+	for i := 0; i < nsv; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		v, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		if _, dup := statsVersion[k]; dup {
+			return corruptState("duplicate stats version key %q", k)
+		}
+		statsVersion[k] = v
+	}
+
+	nt, err := r.Len()
+	if err != nil {
+		return err
+	}
+	tables := make(map[string]*tableData, nt)
+	for i := 0; i < nt; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		if _, dup := tables[k]; dup {
+			return corruptState("duplicate table %q", k)
+		}
+		sharedDef, err := r.Bool()
+		if err != nil {
+			return err
+		}
+		var def *schema.Table
+		if sharedDef {
+			if sc == nil || sc.tables[k] == nil {
+				return corruptState("table %q references a shared definition outside its archetype", k)
+			}
+			def = sc.tables[k]
+		} else {
+			if def, err = decodeTableDef(r); err != nil {
+				return err
+			}
+			if err := def.Validate(); err != nil {
+				return corruptState("table %q: %v", k, err)
+			}
+		}
+		if !strings.EqualFold(def.Name, k) {
+			return corruptState("table key %q names definition %q", k, def.Name)
+		}
+		rowCount, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		clustered, err := r.Bool()
+		if err != nil {
+			return err
+		}
+		t := &tableData{def: def, rowCount: rowCount}
+		if clustered {
+			if len(def.PrimaryKey) == 0 {
+				return corruptState("table %q is clustered but has no primary key", k)
+			}
+			if t.clustered, err = decodeTree(r, sc, k); err != nil {
+				return err
+			}
+			if int64(t.clustered.Len()) != rowCount {
+				return corruptState("table %q row count %d != clustered entries %d", k, rowCount, t.clustered.Len())
+			}
+		} else {
+			rowWidth, err := r.Len()
+			if err != nil {
+				return err
+			}
+			nr, err := r.Len()
+			if err != nil {
+				return err
+			}
+			rows := make([]value.Row, nr)
+			for j := 0; j < nr; j++ {
+				if rows[j], err = decodeRow(r, sc, k); err != nil {
+					return err
+				}
+			}
+			nf, err := r.Len()
+			if err != nil {
+				return err
+			}
+			free := make([]storage.RID, nf)
+			for j := 0; j < nf; j++ {
+				rid, err := r.Varint()
+				if err != nil {
+					return err
+				}
+				free[j] = storage.RID(rid)
+			}
+			if t.heap, err = storage.Restore(rows, free, rowWidth); err != nil {
+				return corruptState("table %q: %v", k, err)
+			}
+			if t.heap.Len() != rowCount {
+				return corruptState("table %q row count %d != live heap rows %d", k, rowCount, t.heap.Len())
+			}
+		}
+		tables[k] = t
+	}
+
+	nix, err := r.Len()
+	if err != nil {
+		return err
+	}
+	indexes := make(map[string]*indexData, nix)
+	for i := 0; i < nix; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		if _, dup := indexes[k]; dup {
+			return corruptState("duplicate index %q", k)
+		}
+		def, err := decodeIndexDef(r)
+		if err != nil {
+			return err
+		}
+		if !strings.EqualFold(def.Name, k) {
+			return corruptState("index key %q names definition %q", k, def.Name)
+		}
+		t, ok := tables[strings.ToLower(def.Table)]
+		if !ok {
+			return corruptState("index %q references missing table %q", k, def.Table)
+		}
+		if err := def.Validate(t.def); err != nil {
+			return corruptState("index %q: %v", k, err)
+		}
+		createdNs, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		sizeBytes, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		ix := &indexData{
+			def:       def,
+			createdAt: time.Unix(0, createdNs).UTC(),
+			sizeBytes: sizeBytes,
+		}
+		for _, c := range def.KeyColumns {
+			ix.keyOrds = append(ix.keyOrds, t.def.ColumnIndex(c))
+		}
+		for _, c := range def.IncludedColumns {
+			ix.inclOrds = append(ix.inclOrds, t.def.ColumnIndex(c))
+		}
+		if ix.tree, err = decodeTree(r, nil, ""); err != nil {
+			return err
+		}
+		indexes[k] = ix
+	}
+
+	nst, err := r.Len()
+	if err != nil {
+		return err
+	}
+	colStat := make(map[string]*stats.ColumnStats, nst)
+	for i := 0; i < nst; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		if _, dup := colStat[k]; dup {
+			return corruptState("duplicate statistics key %q", k)
+		}
+		shared, err := r.Bool()
+		if err != nil {
+			return err
+		}
+		if shared {
+			st := (*stats.ColumnStats)(nil)
+			if sc != nil {
+				st = sc.stats[k]
+			}
+			if st == nil {
+				return corruptState("statistics %q reference a shared histogram outside its archetype", k)
+			}
+			colStat[k] = st
+		} else {
+			st, err := stats.DecodeStats(r)
+			if err != nil {
+				return err
+			}
+			colStat[k] = st
+		}
+	}
+
+	npt, err := r.Len()
+	if err != nil {
+		return err
+	}
+	planTxt := make(map[uint64]string, npt)
+	for i := 0; i < npt; i++ {
+		h, err := r.Uvarint()
+		if err != nil {
+			return err
+		}
+		txt, err := r.String()
+		if err != nil {
+			return err
+		}
+		if _, dup := planTxt[h]; dup {
+			return corruptState("duplicate plan-cache hash %d", h)
+		}
+		planTxt[h] = txt
+	}
+
+	if err := d.qs.DecodeFrom(r); err != nil {
+		return err
+	}
+	if err := d.miDMV.DecodeFrom(r); err != nil {
+		return err
+	}
+	if err := d.usage.DecodeFrom(r); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	d.rng = sim.NewRNGAt(sim.DeriveSeed(d.cfg.Seed, "engine/"+d.cfg.Name), rngPos)
+	d.noise = sim.NewNoiseAt(d.rng, d.cfg.NoiseCV, noisePos)
+	d.dataVersion = dataVersion
+	d.execCount = execCount
+	d.failovers = failovers
+	d.schemaChanges = schemaChanges
+	d.convoyBlocked = convoyBlocked
+	d.statsVersion = statsVersion
+	d.tables = tables
+	d.indexes = indexes
+	d.colStat = colStat
+	d.planTxt = planTxt
+	d.mu.Unlock()
+	return nil
+}
+
+// Release drops the heavy per-tenant state after a snapshot has been
+// taken, keeping the Database shell (config, clock, stores, hooks, lock
+// manager, bulk sources) resident for rehydration in place. The RNG and
+// noise streams are also dropped — each holds a ~5KB generator — and are
+// rebuilt from (seed, position) on decode.
+func (d *Database) Release() {
+	d.mu.Lock()
+	d.tables = nil
+	d.indexes = nil
+	d.colStat = nil
+	d.statsVersion = nil
+	d.planTxt = nil
+	d.rng = nil
+	d.noise = nil
+	d.mu.Unlock()
+	d.qs.Release()
+	d.miDMV.Release()
+	d.usage.Release()
+	d.costCache.Reset()
+}
+
+func corruptState(format string, args ...interface{}) error {
+	return fmt.Errorf("engine: %w: %s", snap.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func encodeTableDef(w *snap.Writer, def *schema.Table) {
+	w.String(def.Name)
+	w.Uvarint(uint64(len(def.Columns)))
+	for _, c := range def.Columns {
+		w.String(c.Name)
+		w.Uvarint(uint64(c.Kind))
+		w.Bool(c.Nullable)
+		w.Varint(int64(c.AvgWidth))
+	}
+	w.Uvarint(uint64(len(def.PrimaryKey)))
+	for _, pk := range def.PrimaryKey {
+		w.String(pk)
+	}
+}
+
+func decodeTableDef(r *snap.Reader) (*schema.Table, error) {
+	def := &schema.Table{}
+	var err error
+	if def.Name, err = r.String(); err != nil {
+		return nil, err
+	}
+	nc, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	def.Columns = make([]schema.Column, nc)
+	for i := range def.Columns {
+		c := &def.Columns[i]
+		if c.Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		kind, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if kind > uint64(value.Time) {
+			return nil, corruptState("unknown column kind %d", kind)
+		}
+		c.Kind = value.Kind(kind)
+		if c.Nullable, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		width, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		c.AvgWidth = int(width)
+	}
+	npk, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	def.PrimaryKey = make([]string, npk)
+	for i := range def.PrimaryKey {
+		if def.PrimaryKey[i], err = r.String(); err != nil {
+			return nil, err
+		}
+	}
+	return def, nil
+}
+
+func encodeIndexDef(w *snap.Writer, def schema.IndexDef) {
+	w.String(def.Name)
+	w.String(def.Table)
+	w.Uvarint(uint64(def.Kind))
+	w.Uvarint(uint64(len(def.KeyColumns)))
+	for _, c := range def.KeyColumns {
+		w.String(c)
+	}
+	w.Uvarint(uint64(len(def.IncludedColumns)))
+	for _, c := range def.IncludedColumns {
+		w.String(c)
+	}
+	w.Bool(def.Unique)
+	w.Bool(def.Hypothetical)
+	w.Bool(def.AutoCreated)
+	w.Bool(def.Hinted)
+	w.Bool(def.EnforcesConstraint)
+}
+
+func decodeIndexDef(r *snap.Reader) (schema.IndexDef, error) {
+	var def schema.IndexDef
+	var err error
+	if def.Name, err = r.String(); err != nil {
+		return def, err
+	}
+	if def.Table, err = r.String(); err != nil {
+		return def, err
+	}
+	kind, err := r.Uvarint()
+	if err != nil {
+		return def, err
+	}
+	if kind > uint64(schema.Clustered) {
+		return def, corruptState("unknown index kind %d", kind)
+	}
+	def.Kind = schema.IndexKind(kind)
+	nk, err := r.Len()
+	if err != nil {
+		return def, err
+	}
+	def.KeyColumns = make([]string, nk)
+	for i := range def.KeyColumns {
+		if def.KeyColumns[i], err = r.String(); err != nil {
+			return def, err
+		}
+	}
+	ni, err := r.Len()
+	if err != nil {
+		return def, err
+	}
+	def.IncludedColumns = make([]string, ni)
+	for i := range def.IncludedColumns {
+		if def.IncludedColumns[i], err = r.String(); err != nil {
+			return def, err
+		}
+	}
+	if def.Unique, err = r.Bool(); err != nil {
+		return def, err
+	}
+	if def.Hypothetical, err = r.Bool(); err != nil {
+		return def, err
+	}
+	if def.AutoCreated, err = r.Bool(); err != nil {
+		return def, err
+	}
+	if def.Hinted, err = r.Bool(); err != nil {
+		return def, err
+	}
+	if def.EnforcesConstraint, err = r.Bool(); err != nil {
+		return def, err
+	}
+	return def, nil
+}
+
+// encodeRow writes one stored row, aliasing it into the shared catalog
+// when the slice is physically the catalog's (copy-on-write sharing means
+// most base rows of most tenants hit this path, collapsing snapshot size
+// and rehydrated memory alike).
+func encodeRow(w *snap.Writer, row value.Row, sc *SharedCatalog, tableKey string) {
+	if row == nil {
+		w.Uvarint(rowNil)
+		return
+	}
+	if ref, ok := sc.rowRefOf(row); ok && ref.table == tableKey {
+		w.Uvarint(rowShared)
+		w.Uvarint(uint64(ref.idx))
+		return
+	}
+	w.Uvarint(rowInline)
+	w.Row(row)
+}
+
+func decodeRow(r *snap.Reader, sc *SharedCatalog, tableKey string) (value.Row, error) {
+	tag, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case rowNil:
+		return nil, nil
+	case rowShared:
+		idx, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		var rows []value.Row
+		if sc != nil {
+			rows = sc.rows[tableKey]
+		}
+		if idx >= uint64(len(rows)) {
+			return nil, corruptState("shared row %d/%d for table %q", idx, len(rows), tableKey)
+		}
+		return rows[idx], nil
+	case rowInline:
+		return r.Row()
+	default:
+		return nil, corruptState("unknown row tag %d", tag)
+	}
+}
+
+func encodeKey(w *snap.Writer, k value.Key) {
+	w.Uvarint(uint64(len(k)))
+	for _, v := range k {
+		w.Value(v)
+	}
+}
+
+func decodeKey(r *snap.Reader) (value.Key, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	k := make(value.Key, n)
+	for i := range k {
+		if k[i], err = r.Value(); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// encodeTree writes a B+ tree's exact node structure (deletes never
+// rebalance, so shape is history-dependent and feeds optimizer costs);
+// sc enables shared-row aliasing for clustered base-table payloads and is
+// nil for secondary-index trees, whose entries are always tenant-private.
+func encodeTree(w *snap.Writer, t *btree.Tree, sc *SharedCatalog, tableKey string) {
+	nodes := t.Dump()
+	w.Uvarint(uint64(t.Order()))
+	w.Uvarint(uint64(len(nodes)))
+	for _, n := range nodes {
+		w.Bool(n.Leaf)
+		w.Uvarint(uint64(len(n.Keys)))
+		for _, k := range n.Keys {
+			encodeKey(w, k)
+		}
+		if n.Leaf {
+			for _, p := range n.Payloads {
+				encodeRow(w, p, sc, tableKey)
+			}
+		} else {
+			w.Uvarint(uint64(len(n.Children)))
+			for _, c := range n.Children {
+				w.Uvarint(uint64(c))
+			}
+		}
+	}
+}
+
+func decodeTree(r *snap.Reader, sc *SharedCatalog, tableKey string) (*btree.Tree, error) {
+	order, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	nn, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]btree.DumpedNode, nn)
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Leaf, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		nk, err := r.Len()
+		if err != nil {
+			return nil, err
+		}
+		n.Keys = make([]value.Key, nk)
+		for j := range n.Keys {
+			if n.Keys[j], err = decodeKey(r); err != nil {
+				return nil, err
+			}
+		}
+		if n.Leaf {
+			n.Payloads = make([]value.Row, nk)
+			for j := range n.Payloads {
+				if n.Payloads[j], err = decodeRow(r, sc, tableKey); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			nc, err := r.Len()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = make([]int, nc)
+			for j := range n.Children {
+				c, err := r.Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if c >= uint64(nn) {
+					return nil, corruptState("tree child index %d out of range", c)
+				}
+				n.Children[j] = int(c)
+			}
+		}
+	}
+	t, err := btree.Load(order, nodes)
+	if err != nil {
+		return nil, corruptState("%v", err)
+	}
+	if err := t.CheckInvariants(); err != nil {
+		return nil, corruptState("%v", err)
+	}
+	return t, nil
+}

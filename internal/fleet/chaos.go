@@ -224,7 +224,10 @@ func (ch *chaosHarness) drain(f *Fleet) int {
 }
 
 // report collects injector counters and runs the invariant checker.
-func (ch *chaosHarness) report(f *Fleet, planeCfg controlplane.Config, drained int) *ChaosReport {
+// Callers must have every enrolled tenant materialized (rehydrated) at
+// call time: the invariant checker audits live engine catalogs and the
+// drop counters read live query stores.
+func (ch *chaosHarness) report(now time.Time, planeCfg controlplane.Config, drained int) *ChaosReport {
 	rep := &ChaosReport{
 		Faults:        make(map[faults.Point]int64),
 		Crashes:       ch.runner.Crashes,
@@ -245,6 +248,6 @@ func (ch *chaosHarness) report(f *Fleet, planeCfg controlplane.Config, drained i
 	for _, tn := range ch.managed {
 		rep.DroppedExecutions += tn.DB.QueryStore().DroppedExecutions()
 	}
-	rep.Violations = controlplane.CheckInvariants(ch.mem, ch.baselines, planeCfg, f.Clock.Now())
+	rep.Violations = controlplane.CheckInvariants(ch.mem, ch.baselines, planeCfg, now)
 	return rep
 }

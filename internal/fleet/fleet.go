@@ -353,7 +353,7 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 	if ch != nil {
 		drained := ch.drain(f)
 		res := &OpsResult{Stats: plane().OpStats(), Plane: plane()}
-		res.Chaos = ch.report(f, cfg.Plane, drained)
+		res.Chaos = ch.report(f.Clock.Now(), cfg.Plane, drained)
 		finishOps(f, plane(), res, startCosts, startTotal)
 		return res, nil
 	}

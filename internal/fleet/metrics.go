@@ -21,4 +21,19 @@ var (
 	descWorkerItems = metrics.NewHistogramDesc("fleet.worker_shard_items",
 		"items processed per worker slot per parallel section (shard throughput)",
 		1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024).MarkVolatile()
+
+	// Scale-mode residency instrumentation. All four move only in the
+	// serial barrier sections, so for a fixed flag set they are identical
+	// at any -workers count. They do depend on -resident-tenants (that is
+	// what they measure), which is why the scale determinism contract
+	// compares the tenant stream and tuning outcomes across caps, not the
+	// metrics snapshot.
+	descHibernations = metrics.NewCounterDesc("fleet.hibernations",
+		"tenants serialized to hibernated form at hour barriers")
+	descRehydrations = metrics.NewCounterDesc("fleet.rehydrations",
+		"hibernated tenants rebuilt in place for an active hour")
+	descResidentTenants = metrics.NewGaugeDesc("fleet.resident_tenants",
+		"tenants fully materialized after the latest hour barrier")
+	descSnapshotBytes = metrics.NewCounterDesc("fleet.snapshot_bytes",
+		"cumulative bytes of hibernated tenant snapshots written")
 )

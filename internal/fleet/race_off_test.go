@@ -1,0 +1,10 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Heavy scale tests shrink or skip under instrumentation:
+// memory measurements are invalidated by the detector's shadow heap,
+// and the 10k-tenant determinism runs would take tens of minutes while
+// adding no race coverage beyond the chaos variant's.
+const raceEnabled = false

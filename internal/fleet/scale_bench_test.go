@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchScaleOnce runs one 100k-tenant scale-mode simulation: a fleet two
+// orders of magnitude wider than BenchmarkFleetParallel's, kept cheap by
+// the scale machinery itself — sparse activity, archetype stamping, a
+// small resident cap forcing real hibernation churn.
+func benchScaleOnce(b *testing.B) *ScaleResult {
+	b.Helper()
+	spec := DefaultScaleSpec(100_000, 3)
+	spec.Archetypes = 3
+	spec.Scale = 0.25
+	spec.ActiveFraction = 0.01
+	spec.StatementsPerHour = 6
+	spec.ResidentTenants = 4
+	spec.Stream = io.Discard
+	res, err := RunScale(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.EverActive == 0 || res.Hibernations == 0 {
+		b.Fatalf("degenerate benchmark run: %d ever active, %d hibernations", res.EverActive, res.Hibernations)
+	}
+	return res
+}
+
+// BenchmarkFleetScale measures the 100k-tenant scale mode end to end and
+// records the numbers in BENCH_fleet_scale.json at the repo root, where
+// `make bench-gate` diffs them against the committed baseline. Reported
+// metrics: whole-fleet throughput in tenants/sec (nominal tenants over
+// wall-clock, the "how wide a fleet fits one machine" number) and the
+// peak heap high-water mark, which must track the resident cap — not the
+// fleet size.
+func BenchmarkFleetScale(b *testing.B) {
+	var last *ScaleResult
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		last = benchScaleOnce(b)
+	}
+	per := time.Since(start).Nanoseconds() / int64(b.N)
+	secPerOp := float64(per) / 1e9
+	b.ReportMetric(float64(last.Tenants)/secPerOp, "tenants/s")
+	b.ReportMetric(float64(last.PeakHeapBytes)/(1<<20), "peak-heap-MB")
+
+	type timing struct {
+		Workers  int     `json:"workers"`
+		NsPerOp  int64   `json:"ns_per_op"`
+		SecPerOp float64 `json:"sec_per_op"`
+	}
+	report := map[string]any{
+		"benchmark":       "BenchmarkFleetScale",
+		"workload":        "RunScale(100k tenants, 3h, 3 archetypes at 0.25 scale, 1% hourly activity, 4 resident)",
+		"num_cpu":         runtime.NumCPU(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"tenants":         last.Tenants,
+		"ever_active":     last.EverActive,
+		"hibernations":    last.Hibernations,
+		"rehydrations":    last.Rehydrations,
+		"peak_resident":   last.PeakResident,
+		"peak_heap_bytes": last.PeakHeapBytes,
+		"tenants_per_sec": float64(last.Tenants) / secPerOp,
+		"note":            "peak_heap_bytes must track the resident cap, not the tenant count; tenants_per_sec is nominal fleet width over wall-clock",
+		"timings":         []timing{{Workers: runtime.GOMAXPROCS(0), NsPerOp: per, SecPerOp: secPerOp}},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_fleet_scale.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not write BENCH_fleet_scale.json: %v", err)
+	}
+}

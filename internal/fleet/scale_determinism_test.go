@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// scaleRunOutput runs a 10k-tenant short-horizon scale simulation and
+// returns every byte the determinism contract covers: the per-tenant
+// stream (in completion order) plus the summary report.
+func scaleRunOutput(t *testing.T, workers, residentCap int, activeFraction float64) (string, *ScaleResult) {
+	t.Helper()
+	spec := DefaultScaleSpec(10_000, 6)
+	spec.Archetypes = 3
+	spec.Scale = 0.5
+	spec.ActiveFraction = activeFraction
+	spec.StatementsPerHour = 8
+	spec.Workers = workers
+	spec.ResidentTenants = residentCap
+	var buf strings.Builder
+	spec.Stream = &buf
+	res, err := RunScale(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String() + res.Report(), res
+}
+
+// TestScaleDeterministicAcrossWorkers pins the scale-mode determinism
+// contract across worker counts: stream and report bytes are a function
+// of the seed and flags alone, not of how tenant work was sharded.
+func TestScaleDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale simulation is slow")
+	}
+	if raceEnabled {
+		t.Skip("10k-tenant run is minutes under the race detector; the chaos variant covers the same parallel paths")
+	}
+	out1, res := scaleRunOutput(t, 1, 0, 0.01)
+	out4, _ := scaleRunOutput(t, 4, 0, 0.01)
+	out8, _ := scaleRunOutput(t, 8, 0, 0.01)
+	if out1 != out4 {
+		t.Errorf("scale output differs between -workers 1 and -workers 4:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", out1, out4)
+	}
+	if out1 != out8 {
+		t.Errorf("scale output differs between -workers 1 and -workers 8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", out1, out8)
+	}
+	if res.EverActive == 0 || res.TenantHours == 0 || res.Completed == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.Hibernations != 0 {
+		t.Fatalf("unlimited residency must never hibernate, got %d", res.Hibernations)
+	}
+}
+
+// TestScaleDeterministicUnderHibernationPressure pins the second half of
+// the contract: a resident-set cap small enough to force hibernation
+// churn on ≥90% of repeat activations produces byte-identical stream and
+// report output to an uncapped run.
+func TestScaleDeterministicUnderHibernationPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale simulation is slow")
+	}
+	if raceEnabled {
+		t.Skip("10k-tenant run is minutes under the race detector; the chaos variant covers the same parallel paths")
+	}
+	free, _ := scaleRunOutput(t, 4, 0, 0.02)
+	pressured, res := scaleRunOutput(t, 4, 1, 0.02)
+	if free != pressured {
+		t.Errorf("scale output differs between unlimited residency and -resident-tenants 1:\n--- unlimited ---\n%s--- capped ---\n%s", free, pressured)
+	}
+	if res.Hibernations == 0 || res.Rehydrations == 0 {
+		t.Fatalf("cap 1 must force hibernation churn, got %d hibernations / %d rehydrations", res.Hibernations, res.Rehydrations)
+	}
+	// Churn floor: at least 90% of repeat activations (active hours beyond
+	// each tenant's first) had to be rebuilt from a snapshot.
+	repeats := res.TenantHours - int64(res.EverActive)
+	if repeats > 0 && float64(res.Rehydrations) < 0.9*float64(repeats) {
+		t.Fatalf("expected >=90%% hibernation churn: %d rehydrations for %d repeat activations", res.Rehydrations, repeats)
+	}
+}
+
+// TestScaleChaosDeterministicAcrossWorkersAndPressure extends both axes
+// to chaos mode on a smaller fleet: the injected fault schedule and the
+// drained outcome are identical at any worker count and any residency
+// pressure, and the fleet settles with clean invariants.
+func TestScaleChaosDeterministicAcrossWorkersAndPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale simulation is slow")
+	}
+	run := func(workers, residentCap int) (string, *ScaleResult) {
+		spec := DefaultScaleSpec(300, 6)
+		spec.Archetypes = 2
+		spec.Scale = 0.5
+		spec.ActiveFraction = 0.05
+		spec.StatementsPerHour = 8
+		spec.Workers = workers
+		spec.ResidentTenants = residentCap
+		spec.Chaos = ChaosConfig{Enabled: true, FaultRate: 0.08, CrashRate: 0.05}
+		var buf strings.Builder
+		spec.Stream = &buf
+		res, err := RunScale(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Chaos == nil {
+			t.Fatal("chaos enabled but no chaos report")
+		}
+		if len(res.Chaos.Violations) != 0 {
+			t.Errorf("invariant violations under chaos:\n%s", res.Chaos.Format())
+		}
+		return buf.String() + res.Report() + res.Chaos.Format(), res
+	}
+	base, _ := run(1, 0)
+	sharded, _ := run(8, 0)
+	pressured, res := run(4, 3)
+	if base != sharded {
+		t.Errorf("chaos scale output differs between -workers 1 and -workers 8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", base, sharded)
+	}
+	if base != pressured {
+		t.Errorf("chaos scale output differs between unlimited residency and -resident-tenants 3:\n--- unlimited ---\n%s--- capped ---\n%s", base, pressured)
+	}
+	if res.Hibernations == 0 {
+		t.Fatal("cap 3 must force hibernation in chaos mode")
+	}
+}

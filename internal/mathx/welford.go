@@ -41,6 +41,16 @@ func (w *Welford) Merge(o Welford) {
 	w.N = n
 }
 
+// M2 returns the accumulated sum of squared deviations — the third piece
+// of internal state alongside N and Mean. Exposed (with WelfordFromParts)
+// so accumulators can round-trip through serialization exactly.
+func (w *Welford) M2() float64 { return w.m2 }
+
+// WelfordFromParts reconstructs an accumulator from its serialized state.
+func WelfordFromParts(n int64, mean, m2 float64) Welford {
+	return Welford{N: n, Mean: mean, m2: m2}
+}
+
 // Variance returns the sample variance (n-1 denominator); 0 when n < 2.
 func (w *Welford) Variance() float64 {
 	if w.N < 2 {

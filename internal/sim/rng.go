@@ -14,12 +14,62 @@ import (
 type RNG struct {
 	mu   sync.Mutex
 	rand *rand.Rand
+	src  *countingSource
 	seed int64
+}
+
+// countingSource wraps the stdlib generator and counts how many times it
+// advanced. Go's source steps its state exactly once per Int63/Uint64
+// call, so the count is an exact stream position even through rejection
+// loops (Int63n) and ziggurat draws (NormFloat64): replaying N raw steps
+// from the seed reproduces the stream regardless of which high-level
+// draw methods consumed them. This is what lets a hibernated tenant
+// serialize an RNG as (seed, position) instead of raw generator state.
+type countingSource struct {
+	src   rand.Source64
+	steps uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.steps++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.steps++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.steps = 0
+	s.src.Seed(seed)
 }
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{rand: rand.New(rand.NewSource(seed)), seed: seed}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{rand: rand.New(cs), src: cs, seed: seed}
+}
+
+// NewRNGAt returns the stream for seed fast-forwarded to position pos, as
+// previously reported by Pos(): the returned stream produces exactly the
+// draws the original would have produced after its first pos raw steps.
+func NewRNGAt(seed int64, pos uint64) *RNG {
+	r := NewRNG(seed)
+	for i := uint64(0); i < pos; i++ {
+		r.src.src.Uint64()
+	}
+	r.src.steps = pos
+	return r
+}
+
+// Pos returns the stream position: the number of raw generator steps
+// consumed so far. Together with Seed it fully identifies the stream
+// state for serialization (see NewRNGAt).
+func (r *RNG) Pos() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.src.steps
 }
 
 // Child derives an independent stream keyed by name. The derivation is
@@ -139,6 +189,18 @@ type Noise struct {
 func NewNoise(rng *RNG, cv float64) *Noise {
 	return &Noise{rng: rng.Child("noise"), CV: cv}
 }
+
+// NewNoiseAt returns the noise model NewNoise(rng, cv) fast-forwarded to
+// stream position pos — the serialization counterpart of Pos, used when a
+// hibernated tenant engine rehydrates.
+func NewNoiseAt(rng *RNG, cv float64, pos uint64) *Noise {
+	n := NewNoise(rng, cv)
+	n.rng = NewRNGAt(n.rng.seed, pos)
+	return n
+}
+
+// Pos returns the noise stream's position (see RNG.Pos).
+func (n *Noise) Pos() uint64 { return n.rng.Pos() }
 
 // Apply perturbs v multiplicatively: v * max(0.05, 1 + cv*N(0,1)).
 // The floor keeps perturbed costs positive.

@@ -1,0 +1,253 @@
+// Package snap implements the compact binary codec tenant hibernation
+// serializes through (see ARCHITECTURE.md "Fleet at scale"). It is a
+// deliberately small format — varint integers, float bits, length-prefixed
+// strings — with two properties the fleet depends on:
+//
+//   - Deterministic encoding: the same logical state always produces the
+//     same bytes, so snapshot bytes can be compared directly in tests and
+//     a rehydrate→hibernate round trip is byte-stable.
+//
+//   - Hostile-input-safe decoding: every read validates lengths against
+//     the remaining input before allocating, and corruption surfaces as an
+//     error — never a panic, never a silently wrong value. An FNV-64a
+//     checksum over the body catches bit flips wholesale; the structural
+//     reader catches truncation and length lies even when the checksum has
+//     been recomputed (the fuzz harness exercises exactly that path).
+//
+// The codec is not self-describing: reader and writer must agree on field
+// order, with a version byte in the envelope gating compatibility.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Magic identifies a snapshot envelope.
+const Magic = "AXSN"
+
+// Version is the current snapshot format version. Decoders reject other
+// versions rather than guessing at field layouts.
+const Version = 1
+
+// ErrCorrupt is the sentinel wrapped by every decode failure; callers
+// test with errors.Is.
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// corruptf builds an ErrCorrupt-wrapped error with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Writer accumulates an encoded body. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Float appends a float64 as its IEEE-754 bits (little endian), so the
+// round trip is bit-exact including negative zero and NaN payloads.
+func (w *Writer) Float(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Len returns the current body length in bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Seal wraps the body in the snapshot envelope — magic, version, body
+// length, FNV-64a body checksum, body — and returns the full snapshot.
+func (w *Writer) Seal() []byte {
+	h := fnv.New64a()
+	h.Write(w.buf)
+	out := make([]byte, 0, len(Magic)+1+2*binary.MaxVarintLen64+len(w.buf))
+	out = append(out, Magic...)
+	out = append(out, Version)
+	out = binary.AppendUvarint(out, uint64(len(w.buf)))
+	out = binary.LittleEndian.AppendUint64(out, h.Sum64())
+	out = append(out, w.buf...)
+	return out
+}
+
+// Reader decodes an encoded body. Every method returns an error wrapping
+// ErrCorrupt on truncated or implausible input.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// Open validates an envelope produced by Seal and returns a Reader over
+// its body.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < len(Magic)+1 {
+		return nil, corruptf("short envelope (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, corruptf("bad magic")
+	}
+	if v := data[len(Magic)]; v != Version {
+		return nil, corruptf("unsupported version %d", v)
+	}
+	rest := data[len(Magic)+1:]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, corruptf("bad body length")
+	}
+	rest = rest[n:]
+	if len(rest) < 8 {
+		return nil, corruptf("missing checksum")
+	}
+	sum := binary.LittleEndian.Uint64(rest[:8])
+	body := rest[8:]
+	if uint64(len(body)) != bodyLen {
+		return nil, corruptf("body length %d does not match envelope %d", len(body), bodyLen)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, corruptf("checksum mismatch")
+	}
+	return &Reader{buf: body}, nil
+}
+
+// NewBodyReader returns a Reader over a bare body with no envelope —
+// used by the fuzz harness to drive the structural decoder directly.
+func NewBodyReader(body []byte) *Reader { return &Reader{buf: body} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns an error unless the body was consumed exactly.
+func (r *Reader) Done() error {
+	if r.off != len(r.buf) {
+		return corruptf("%d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Int reads an int, rejecting values outside the platform int range.
+func (r *Reader) Int() (int, error) {
+	v, err := r.Varint()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, corruptf("int overflow %d", v)
+	}
+	return int(v), nil
+}
+
+// Len reads a non-negative count that must be representable in the
+// remaining input at a minimum of one byte per element — the guard that
+// keeps a lying length prefix from triggering a huge allocation.
+func (r *Reader) Len() (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.Remaining()) {
+		return 0, corruptf("length %d exceeds %d remaining bytes", v, r.Remaining())
+	}
+	return int(v), nil
+}
+
+// Bool reads a boolean, rejecting bytes other than 0 and 1.
+func (r *Reader) Bool() (bool, error) {
+	if r.Remaining() < 1 {
+		return false, corruptf("truncated bool")
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		return false, corruptf("bad bool byte %d", b)
+	}
+	return b == 1, nil
+}
+
+// Float reads a float64 from its IEEE-754 bits.
+func (r *Reader) Float() (float64, error) {
+	if r.Remaining() < 8 {
+		return 0, corruptf("truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Len()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the input).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:r.off+n])
+	r.off += n
+	return b, nil
+}

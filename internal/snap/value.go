@@ -1,0 +1,67 @@
+package snap
+
+import "autoindex/internal/value"
+
+// Value appends a typed scalar: kind byte, then the kind's payload.
+func (w *Writer) Value(v value.Value) {
+	w.buf = append(w.buf, byte(v.K))
+	switch v.K {
+	case value.Null:
+	case value.Float:
+		w.Float(v.F)
+	case value.String:
+		w.String(v.S)
+	default: // Int, Bool, Time share the I field
+		w.Varint(v.I)
+	}
+}
+
+// Row appends a length-prefixed tuple of values.
+func (w *Writer) Row(row value.Row) {
+	w.Uvarint(uint64(len(row)))
+	for _, v := range row {
+		w.Value(v)
+	}
+}
+
+// Value reads a typed scalar, rejecting unknown kinds.
+func (r *Reader) Value() (value.Value, error) {
+	if r.Remaining() < 1 {
+		return value.Value{}, corruptf("truncated value kind")
+	}
+	k := value.Kind(r.buf[r.off])
+	r.off++
+	if k > value.Time {
+		return value.Value{}, corruptf("unknown value kind %d", k)
+	}
+	v := value.Value{K: k}
+	var err error
+	switch k {
+	case value.Null:
+	case value.Float:
+		v.F, err = r.Float()
+	case value.String:
+		v.S, err = r.String()
+	default:
+		v.I, err = r.Varint()
+	}
+	if err != nil {
+		return value.Value{}, err
+	}
+	return v, nil
+}
+
+// Row reads a length-prefixed tuple of values.
+func (r *Reader) Row() (value.Row, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	row := make(value.Row, n)
+	for i := range row {
+		if row[i], err = r.Value(); err != nil {
+			return nil, err
+		}
+	}
+	return row, nil
+}

@@ -115,3 +115,39 @@ func (h *Heap) Scan(fn func(RID, value.Row) bool) {
 		}
 	}
 }
+
+// Dump exposes the heap's exact physical state — slot array including
+// tombstones (nil rows), free-list order, and row width — for
+// serialization. RIDs are slot indices, and secondary indexes store RIDs
+// as row locators, so hibernation must round-trip slots and free-list
+// order exactly; re-inserting live rows would renumber them.
+func (h *Heap) Dump() (rows []value.Row, free []RID, rowWidth int) {
+	return h.rows, h.free, h.rowWidth
+}
+
+// Restore reconstructs a heap from Dump output, validating that the free
+// list matches the tombstoned slots exactly.
+func Restore(rows []value.Row, free []RID, rowWidth int) (*Heap, error) {
+	seen := make(map[RID]bool, len(free))
+	for _, rid := range free {
+		if rid < 0 || int(rid) >= len(rows) {
+			return nil, fmt.Errorf("storage: free rid %d out of range", rid)
+		}
+		if rows[rid] != nil {
+			return nil, fmt.Errorf("storage: free rid %d holds a live row", rid)
+		}
+		if seen[rid] {
+			return nil, fmt.Errorf("storage: duplicate free rid %d", rid)
+		}
+		seen[rid] = true
+	}
+	live := int64(0)
+	for i, r := range rows {
+		if r != nil {
+			live++
+		} else if !seen[RID(i)] {
+			return nil, fmt.Errorf("storage: tombstoned rid %d missing from free list", i)
+		}
+	}
+	return &Heap{rows: rows, free: free, live: live, rowWidth: rowWidth}, nil
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+)
+
+// stampSiblings builds one archetype and stamps n sibling tenants from
+// it, each with its own name, seed and clock.
+func stampSiblings(t *testing.T, n int) (*Archetype, []*Tenant) {
+	t.Helper()
+	p := Profile{Name: "cowarch", Tier: engine.TierStandard, Seed: 424242, Scale: 0.25, UserIndexes: true}
+	arch, err := NewArchetype(p, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibs := make([]*Tenant, n)
+	for i := range sibs {
+		tn, err := NewTenantFromArchetype(arch, fmt.Sprintf("cow%02d", i), 1000+int64(i)*7919, sim.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sibs[i] = tn
+	}
+	return arch, sibs
+}
+
+// TestCOWPhysicalSharing pins the aliasing contract of archetype
+// stamping: every sibling's table definitions, base rows and column
+// statistics are the SAME objects as the archetype's shared catalog —
+// pointer identity, not equal copies. This is what makes per-tenant
+// memory the tenant's tree nodes and deltas rather than its data.
+func TestCOWPhysicalSharing(t *testing.T) {
+	arch, sibs := stampSiblings(t, 3)
+	for _, ts := range arch.Tables {
+		canonical := arch.Shared.TableDef(ts.Name)
+		if canonical == nil {
+			t.Fatalf("archetype catalog missing table %s", ts.Name)
+		}
+		rows := arch.Shared.Rows(ts.Name)
+		for i, tn := range sibs {
+			if got := tn.DB.TableDefPtr(ts.Name); got != canonical {
+				t.Errorf("sibling %d: table %s definition is a copy (%p), want shared %p", i, ts.Name, got, canonical)
+			}
+			if len(rows) > 0 && len(rows[0]) > 0 {
+				if got := tn.DB.BaseRowPointer(ts.Name, 0); got != &rows[0][0] {
+					t.Errorf("sibling %d: table %s base row 0 is a copy, want shared storage", i, ts.Name)
+				}
+			}
+			for _, c := range ts.Columns {
+				canon := arch.Shared.Stats(ts.Name, c.Name)
+				if canon == nil {
+					continue // column had no template statistics
+				}
+				if got := tn.DB.StatPtr(ts.Name, c.Name); got != canon {
+					t.Errorf("sibling %d: stats %s.%s is a copy (%p), want shared %p", i, ts.Name, c.Name, got, canon)
+				}
+			}
+		}
+	}
+}
+
+// droppableColumn finds a (table, column) pair a tenant-local DDL can
+// drop: not a primary-key column and not referenced by any of the
+// archetype's user-created indexes.
+func droppableColumn(t *testing.T, arch *Archetype) (string, string) {
+	t.Helper()
+	for _, ts := range arch.Tables {
+		def := arch.Shared.TableDef(ts.Name)
+	cols:
+		for _, c := range def.Columns {
+			for _, pk := range def.PrimaryKey {
+				if pk == c.Name {
+					continue cols
+				}
+			}
+			for _, ix := range arch.Indexes {
+				if !ix.AutoCreated && ix.Table == def.Name && ix.HasColumn(c.Name) {
+					continue cols
+				}
+			}
+			return ts.Name, c.Name
+		}
+	}
+	t.Fatal("archetype has no droppable column")
+	return "", ""
+}
+
+// TestCOWDropColumnForksOnlyThatTenant drops a column on one sibling and
+// verifies the fork is private: the altering tenant gets its own table
+// definition and row storage, while the shared catalog and both other
+// siblings keep the original objects — and the original column.
+func TestCOWDropColumnForksOnlyThatTenant(t *testing.T) {
+	arch, sibs := stampSiblings(t, 3)
+	table, column := droppableColumn(t, arch)
+	canonical := arch.Shared.TableDef(table)
+	canonRow := &arch.Shared.Rows(table)[0][0]
+
+	if err := sibs[0].DB.DropColumn(table, column); err != nil {
+		t.Fatalf("DropColumn(%s.%s): %v", table, column, err)
+	}
+
+	forked := sibs[0].DB.TableDefPtr(table)
+	if forked == canonical {
+		t.Fatalf("DDL on sibling 0 mutated the shared definition of %s in place", table)
+	}
+	if forked.ColumnIndex(column) >= 0 {
+		t.Errorf("sibling 0 still sees dropped column %s.%s", table, column)
+	}
+	if sibs[0].DB.BaseRowPointer(table, 0) == canonRow {
+		t.Errorf("sibling 0 rows still alias shared storage after the column was stripped")
+	}
+
+	// The catalog itself must be untouched...
+	if arch.Shared.TableDef(table) != canonical {
+		t.Fatalf("shared catalog definition pointer changed")
+	}
+	if canonical.ColumnIndex(column) < 0 {
+		t.Fatalf("shared catalog lost column %s.%s to a sibling's DDL", table, column)
+	}
+	// ...and the fork invisible to the other siblings.
+	for i, tn := range sibs[1:] {
+		if got := tn.DB.TableDefPtr(table); got != canonical {
+			t.Errorf("sibling %d: definition no longer aliases the catalog after sibling 0's DDL", i+1)
+		}
+		if got := tn.DB.TableDefPtr(table); got.ColumnIndex(column) < 0 {
+			t.Errorf("sibling %d: lost column %s.%s to sibling 0's DDL", i+1, table, column)
+		}
+		if tn.DB.BaseRowPointer(table, 0) != canonRow {
+			t.Errorf("sibling %d: rows no longer alias shared storage", i+1)
+		}
+	}
+}
+
+// TestCOWStatsRefreshForksOnlyThatTenant verifies both halves of the
+// statistics copy-on-write contract. A refresh over unchanged data is a
+// no-op — the tenant keeps aliasing the shared histograms, because the
+// rebuild would be bit-identical anyway. Once the tenant's data actually
+// diverges (local writes), a refresh forks that tenant's statistics
+// pointers off the catalog; siblings and the catalog keep the originals.
+func TestCOWStatsRefreshForksOnlyThatTenant(t *testing.T) {
+	arch, sibs := stampSiblings(t, 3)
+	type statCol struct{ table, column string }
+	var shared []statCol
+	for _, ts := range arch.Tables {
+		for _, c := range ts.Columns {
+			if arch.Shared.Stats(ts.Name, c.Name) != nil {
+				shared = append(shared, statCol{ts.Name, c.Name})
+			}
+		}
+	}
+	if len(shared) == 0 {
+		t.Fatal("archetype has no shared statistics")
+	}
+
+	// Refresh with no divergence: still shared.
+	sibs[1].DB.RebuildAllStats()
+	for _, sc := range shared {
+		canon := arch.Shared.Stats(sc.table, sc.column)
+		if got := sibs[1].DB.StatPtr(sc.table, sc.column); got != canon {
+			t.Errorf("sibling 1: refresh over unchanged data forked stats %s.%s", sc.table, sc.column)
+		}
+	}
+
+	// Diverge sibling 1 with local writes, then refresh: forked.
+	st := sibs[1].Run(0, 200)
+	if st.Writes == 0 {
+		t.Fatal("replay produced no writes; cannot exercise the stats fork")
+	}
+	sibs[1].DB.RebuildAllStats()
+
+	for _, sc := range shared {
+		canon := arch.Shared.Stats(sc.table, sc.column)
+		if arch.Shared.Stats(sc.table, sc.column) != canon {
+			t.Fatalf("shared catalog stats pointer for %s.%s changed", sc.table, sc.column)
+		}
+		if got := sibs[1].DB.StatPtr(sc.table, sc.column); got == canon {
+			t.Errorf("sibling 1: stats %s.%s still alias the catalog after a refresh", sc.table, sc.column)
+		}
+		for _, i := range []int{0, 2} {
+			if got := sibs[i].DB.StatPtr(sc.table, sc.column); got != canon {
+				t.Errorf("sibling %d: stats %s.%s forked by sibling 1's refresh", i, sc.table, sc.column)
+			}
+		}
+	}
+}

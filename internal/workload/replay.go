@@ -39,7 +39,7 @@ func (t *Tenant) Statement() string {
 	if tpl == nil {
 		return ""
 	}
-	return tpl.Gen()
+	return tpl.Gen(t)
 }
 
 // Stream samples n statements from the mix (for TDS-fork style replay to

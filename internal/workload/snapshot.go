@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"sort"
+
+	"autoindex/internal/engine"
+	"autoindex/internal/sim"
+	"autoindex/internal/snap"
+)
+
+// sharedCatalog returns the archetype's copy-on-write catalog, or nil
+// for self-generated tenants (everything serializes inline).
+func (t *Tenant) sharedCatalog() *engine.SharedCatalog {
+	if t.Archetype != nil {
+		return t.Archetype.Shared
+	}
+	return nil
+}
+
+// EncodeTo serializes the tenant's workload state (RNG position, insert
+// and feed id streams) followed by the full engine snapshot. Combined
+// with snap.Writer.Seal this is the hibernated form of a tenant.
+func (t *Tenant) EncodeTo(w *snap.Writer) {
+	w.Uvarint(t.rng.Pos())
+	encodeIDMap(w, t.insertIDs)
+	encodeIDMap(w, t.feedNext)
+	t.DB.EncodeTo(w, t.sharedCatalog())
+}
+
+// DecodeFrom rehydrates the tenant in place from an EncodeTo snapshot.
+// The Tenant and its Database shells stay resident, so control-plane,
+// chaos-harness and bulk-feed references remain valid; the workload RNG
+// is rebuilt from (seed, position).
+func (t *Tenant) DecodeFrom(r *snap.Reader) error {
+	pos, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	insertIDs, err := decodeIDMap(r)
+	if err != nil {
+		return err
+	}
+	feedNext, err := decodeIDMap(r)
+	if err != nil {
+		return err
+	}
+	if err := t.DB.DecodeFrom(r, t.sharedCatalog()); err != nil {
+		return err
+	}
+	t.rng = sim.NewRNGAt(sim.DeriveSeed(t.Profile.Seed, "workload/"+t.Profile.Name), pos)
+	t.insertIDs = insertIDs
+	t.feedNext = feedNext
+	return nil
+}
+
+// Release drops the tenant's heavy state after a snapshot was taken,
+// keeping the shells for in-place rehydration.
+func (t *Tenant) Release() {
+	t.rng = nil
+	t.insertIDs = nil
+	t.feedNext = nil
+	t.DB.Release()
+}
+
+func encodeIDMap(w *snap.Writer, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Varint(m[k])
+	}
+}
+
+func decodeIDMap(r *snap.Reader) (map[string]int64, error) {
+	n, err := r.Len()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}

@@ -39,7 +39,7 @@ func (t *Tenant) buildPools() map[string]*pool {
 	r := t.rng.Child("pools")
 	for _, ts := range t.Tables {
 		p := &pool{byCol: make(map[string][]value.Value)}
-		rows := t.generateRows(ts, minInt(256, ts.Rows), r.Child(ts.Name))
+		rows := generateRows(ts, minInt(256, ts.Rows), r.Child(ts.Name))
 		p.rows = rows
 		for ci, c := range ts.Columns {
 			vals := make([]value.Value, 0, len(rows))
@@ -107,7 +107,6 @@ func (t *Tenant) generateTemplates() {
 	}
 
 	var reads, writes []*Template
-	insertIDs := make(map[string]*int64)
 	for _, ts := range t.Tables {
 		ts := ts
 		p := pools[strings.ToLower(ts.Name)]
@@ -134,8 +133,8 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   ts.Name + "/point",
 				Weight: 2 + 4*r.Float64(),
-				Gen: func() string {
-					return fmt.Sprintf("SELECT %s FROM %s WHERE id = %s", projCols, ts.Name, p.draw(t.rng, "id"))
+				Gen: func(tn *Tenant) string {
+					return fmt.Sprintf("SELECT %s FROM %s WHERE id = %s", projCols, ts.Name, p.draw(tn.rng, "id"))
 				},
 			})
 		}
@@ -154,10 +153,10 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   fmt.Sprintf("%s/eq_%s", ts.Name, c1.Name),
 				Weight: 1 + 4*r.Float64(),
-				Gen: func() string {
-					q := fmt.Sprintf("SELECT %s FROM %s WHERE %s = %s", projCols, ts.Name, c1.Name, p.draw(t.rng, c1.Name))
+				Gen: func(tn *Tenant) string {
+					q := fmt.Sprintf("SELECT %s FROM %s WHERE %s = %s", projCols, ts.Name, c1.Name, p.draw(tn.rng, c1.Name))
 					if c2 != nil {
-						q += fmt.Sprintf(" AND %s = %s", c2.Name, p.draw(t.rng, c2.Name))
+						q += fmt.Sprintf(" AND %s = %s", c2.Name, p.draw(tn.rng, c2.Name))
 					}
 					return q
 				},
@@ -184,8 +183,8 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   fmt.Sprintf("%s/corr_%s", ts.Name, c.Name),
 				Weight: 1 + 2*r.Float64(),
-				Gen: func() string {
-					row := p.rows[t.rng.Intn(len(p.rows))]
+				Gen: func(tn *Tenant) string {
+					row := p.rows[tn.rng.Intn(len(p.rows))]
 					return fmt.Sprintf("SELECT %s FROM %s WHERE %s = %s AND %s = %s",
 						projCols, ts.Name, base, row[baseOrd], c.Name, row[corrOrd])
 				},
@@ -208,8 +207,8 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   fmt.Sprintf("%s/range_%s", ts.Name, c.Name),
 				Weight: 0.5 + 2*r.Float64(),
-				Gen: func() string {
-					lo := p.draw(t.rng, c.Name)
+				Gen: func(tn *Tenant) string {
+					lo := p.draw(tn.rng, c.Name)
 					return fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %d AND %d",
 						projCols, ts.Name, c.Name, lo.I, lo.I+width)
 				},
@@ -242,9 +241,9 @@ func (t *Tenant) generateTemplates() {
 				reads = append(reads, &Template{
 					Name:   fmt.Sprintf("%s/join_%s", ts.Name, parent),
 					Weight: 0.5 + 2.5*r.Float64(),
-					Gen: func() string {
+					Gen: func(tn *Tenant) string {
 						return fmt.Sprintf("SELECT %s FROM %s c JOIN %s p ON c.%s = p.id WHERE p.%s = %s",
-							childCols, ts.Name, parent, fkCol, parentFilter.Name, pp.draw(t.rng, parentFilter.Name))
+							childCols, ts.Name, parent, fkCol, parentFilter.Name, pp.draw(tn.rng, parentFilter.Name))
 					},
 				})
 			}
@@ -264,10 +263,10 @@ func (t *Tenant) generateTemplates() {
 				reads = append(reads, &Template{
 					Name:   fmt.Sprintf("%s/chain_%s_%s", ts.Name, parent, grand),
 					Weight: 0.3 + r.Float64(),
-					Gen: func() string {
+					Gen: func(tn *Tenant) string {
 						return fmt.Sprintf(
 							"SELECT c.id FROM %s c JOIN %s p ON c.fk_%s = p.id JOIN %s g ON p.fk_%s = g.id WHERE g.id = %s",
-							ts.Name, parent, parent, grand, grand, gp.draw(t.rng, "id"))
+							ts.Name, parent, parent, grand, grand, gp.draw(tn.rng, "id"))
 					},
 				})
 			}
@@ -290,7 +289,7 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   fmt.Sprintf("%s/groupby_%s", ts.Name, g.Name),
 				Weight: 0.3 + 1.2*r.Float64(),
-				Gen: func() string {
+				Gen: func(tn *Tenant) string {
 					return fmt.Sprintf("SELECT %s, %s FROM %s GROUP BY %s", g.Name, agg, ts.Name, g.Name)
 				},
 			})
@@ -304,9 +303,9 @@ func (t *Tenant) generateTemplates() {
 			reads = append(reads, &Template{
 				Name:   fmt.Sprintf("%s/top_%s", ts.Name, c.Name),
 				Weight: 0.3 + r.Float64(),
-				Gen: func() string {
+				Gen: func(tn *Tenant) string {
 					return fmt.Sprintf("SELECT TOP %d %s FROM %s WHERE %s = %s ORDER BY id",
-						n, projCols, ts.Name, c.Name, p.draw(t.rng, c.Name))
+						n, projCols, ts.Name, c.Name, p.draw(tn.rng, c.Name))
 				},
 			})
 		}
@@ -326,20 +325,18 @@ func (t *Tenant) generateTemplates() {
 				Name:    ts.Name + "/update",
 				Weight:  1 + 2*r.Float64(),
 				IsWrite: true,
-				Gen: func() string {
-					set := fmt.Sprintf("%s = %d.25", floatCol, t.rng.Intn(1000))
+				Gen: func(tn *Tenant) string {
+					set := fmt.Sprintf("%s = %d.25", floatCol, tn.rng.Intn(1000))
 					if byPK {
-						return fmt.Sprintf("UPDATE %s SET %s WHERE id = %s", ts.Name, set, p.draw(t.rng, "id"))
+						return fmt.Sprintf("UPDATE %s SET %s WHERE id = %s", ts.Name, set, p.draw(tn.rng, "id"))
 					}
-					return fmt.Sprintf("UPDATE %s SET %s WHERE %s = %s", ts.Name, set, fc.Name, p.draw(t.rng, fc.Name))
+					return fmt.Sprintf("UPDATE %s SET %s WHERE %s = %s", ts.Name, set, fc.Name, p.draw(tn.rng, fc.Name))
 				},
 			})
 		}
 
 		// Inserts (with matching occasional deletes of inserted rows).
 		if ts.HasPK {
-			next := int64(1 << 40) // far above seeded/bulk id ranges
-			insertIDs[ts.Name] = &next
 			cols := make([]string, 0, len(ts.Columns))
 			for _, c := range ts.Columns {
 				cols = append(cols, c.Name)
@@ -349,10 +346,9 @@ func (t *Tenant) generateTemplates() {
 				Name:    ts.Name + "/insert",
 				Weight:  1 + 2*r.Float64(),
 				IsWrite: true,
-				Gen: func() string {
-					row := t.generateRows(spec, 1, t.rng.Child("ins/"+spec.Name))[0]
-					*insertIDs[spec.Name]++
-					row[0] = value.NewInt(*insertIDs[spec.Name])
+				Gen: func(tn *Tenant) string {
+					row := generateRows(spec, 1, tn.rng.Child("ins/"+spec.Name))[0]
+					row[0] = value.NewInt(tn.nextInsertID(spec.Name))
 					vals := make([]string, len(row))
 					for i, v := range row {
 						vals[i] = v.String()
@@ -365,12 +361,12 @@ func (t *Tenant) generateTemplates() {
 				Name:    ts.Name + "/delete",
 				Weight:  0.2 + 0.6*r.Float64(),
 				IsWrite: true,
-				Gen: func() string {
+				Gen: func(tn *Tenant) string {
 					// Delete one of the recently inserted rows (possibly a
 					// no-op if it never existed — realistic enough).
-					id := *insertIDs[ts.Name]
+					id := tn.lastInsertID(spec.Name)
 					if id > 1<<40 {
-						id -= int64(t.rng.Intn(3))
+						id -= int64(tn.rng.Intn(3))
 					}
 					return fmt.Sprintf("DELETE FROM %s WHERE id = %d", ts.Name, id)
 				},
@@ -385,7 +381,7 @@ func (t *Tenant) generateTemplates() {
 				Name:    ts.Name + "/bulk",
 				Weight:  0.1 + 0.2*r.Float64(),
 				IsWrite: true,
-				Gen: func() string {
+				Gen: func(_ *Tenant) string {
 					_ = n
 					return fmt.Sprintf("BULK INSERT %s FROM DATASOURCE %s", ts.Name, feed)
 				},
@@ -426,7 +422,7 @@ func (t *Tenant) createUserIndexes() error {
 			continue
 		}
 		// Parse a sample to find the filtered table/column.
-		stmt, err := sqlparser.Parse(tpl.Gen())
+		stmt, err := sqlparser.Parse(tpl.Gen(t))
 		if err != nil {
 			continue
 		}

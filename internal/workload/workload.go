@@ -62,24 +62,42 @@ type TableSpec struct {
 	FKOf string
 }
 
-// Tenant is a generated database plus its workload.
+// Tenant is a generated database plus its workload. Tenants stamped from
+// an Archetype (see NewTenantFromArchetype) share their schema templates,
+// base rows, statement templates and histogram statistics copy-on-write
+// with every sibling of the same archetype; self-generated tenants own
+// all of it.
 type Tenant struct {
 	Profile   Profile
 	DB        *engine.Database
 	Tables    []TableSpec
 	Templates []*Template
+	// Archetype is the template this tenant was stamped from; nil for
+	// self-generated tenants.
+	Archetype *Archetype
 	rng       *sim.RNG
 	// longQueryProb is the chance a statement holds a long shared lock.
 	longQueryProb float64
+	// insertIDs tracks the last synthetic primary key handed out per
+	// table by insert templates; feedNext tracks the next id of each
+	// table's ongoing bulk feed. Both live on the Tenant (not in template
+	// closures) so templates can be shared across archetype siblings and
+	// the state survives hibernation.
+	insertIDs map[string]int64
+	feedNext  map[string]int64
 }
 
-// Template is one parameterized statement pattern.
+// Template is one parameterized statement pattern. Templates are
+// stateless and shared across archetype siblings: all per-tenant state
+// (RNG, insert ids, value pools are immutable) is reached through the
+// tenant passed to Gen.
 type Template struct {
 	Name    string
 	Weight  float64
 	IsWrite bool
-	// Gen produces a fresh SQL string with new literals.
-	Gen func() string
+	// Gen produces a fresh SQL string with new literals, drawing from the
+	// given tenant's streams.
+	Gen func(tn *Tenant) string
 }
 
 // NewTenant generates, creates and populates a tenant database.
@@ -95,6 +113,8 @@ func NewTenant(p Profile, clock sim.Clock) (*Tenant, error) {
 		DB:            db,
 		rng:           rng,
 		longQueryProb: 0.002,
+		insertIDs:     make(map[string]int64),
+		feedNext:      make(map[string]int64),
 	}
 	t.generateSchema()
 	if err := t.createAndPopulate(); err != nil {
@@ -222,7 +242,7 @@ func (t *Tenant) createAndPopulate() error {
 			return err
 		}
 		// Populate through a bulk source (cheap, avoids parsing per row).
-		rows := t.generateRows(ts, ts.Rows, r.Child(ts.Name))
+		rows := generateRows(ts, ts.Rows, r.Child(ts.Name))
 		src := "seed_" + ts.Name
 		t.DB.RegisterBulkSource(src, func(n int64) []value.Row {
 			if int(n) > len(rows) {
@@ -238,25 +258,55 @@ func (t *Tenant) createAndPopulate() error {
 		if _, err := t.DB.ExecStmt(parsed); err != nil {
 			return err
 		}
-		// Register an ongoing bulk feed for bulk-insert templates.
-		feed := "feed_" + ts.Name
-		nextID := int64(ts.Rows)
-		spec := ts
-		feedRNG := r.Child("feed/" + ts.Name)
-		t.DB.RegisterBulkSource(feed, func(n int64) []value.Row {
-			out := t.generateRows(spec, int(n), feedRNG)
-			for i := range out {
-				nextID++
-				out[i][0] = value.NewInt(nextID)
-			}
-			return out
-		})
+		t.registerFeed(ts)
 	}
 	return nil
 }
 
+// registerFeed installs the ongoing bulk-feed source for one table. Feed
+// rows derive from seed-keyed child streams (no positional state), so the
+// only mutable state is the next id, held on the Tenant where hibernation
+// can reach it.
+func (t *Tenant) registerFeed(ts TableSpec) {
+	feed := "feed_" + ts.Name
+	spec := ts
+	t.feedNext[ts.Name] = int64(ts.Rows)
+	t.DB.RegisterBulkSource(feed, func(n int64) []value.Row {
+		out := generateRows(spec, int(n), t.rng.Child("data").Child("feed/"+spec.Name))
+		for i := range out {
+			t.feedNext[spec.Name]++
+			out[i][0] = value.NewInt(t.feedNext[spec.Name])
+		}
+		return out
+	})
+}
+
+// nextInsertID advances and returns the synthetic primary key stream for
+// insert templates; ids start far above seeded/bulk ranges.
+func (t *Tenant) nextInsertID(table string) int64 {
+	id, ok := t.insertIDs[table]
+	if !ok {
+		id = 1 << 40
+	}
+	id++
+	t.insertIDs[table] = id
+	return id
+}
+
+// lastInsertID returns the most recently handed-out insert id (the base
+// of the range when no insert has happened yet).
+func (t *Tenant) lastInsertID(table string) int64 {
+	if id, ok := t.insertIDs[table]; ok {
+		return id
+	}
+	return 1 << 40
+}
+
 // generateRows produces rows following the table's column distributions.
-func (t *Tenant) generateRows(ts TableSpec, n int, r *sim.RNG) []value.Row {
+// It draws only from name-keyed child streams of r, never from r itself,
+// so callers can pass a freshly derived child and two calls with the same
+// (spec, n, seed) produce identical rows.
+func generateRows(ts TableSpec, n int, r *sim.RNG) []value.Row {
 	// Per-column samplers.
 	type sampler func(rowID int64, row value.Row) value.Value
 	samplers := make([]sampler, len(ts.Columns))

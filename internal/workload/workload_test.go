@@ -59,7 +59,7 @@ func TestAllTemplatesParseAndExecute(t *testing.T) {
 	tn := newTenant(t, Profile{Tier: engine.TierStandard, Seed: 7, UserIndexes: true})
 	for _, tpl := range tn.Templates {
 		for i := 0; i < 3; i++ {
-			sql := tpl.Gen()
+			sql := tpl.Gen(tn)
 			stmt, err := sqlparser.Parse(sql)
 			if err != nil {
 				t.Fatalf("template %s generated unparseable SQL %q: %v", tpl.Name, sql, err)
