@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-gate smoke ci cover clean
+.PHONY: all build test race vet lint lint-fixtures check bench bench-gate smoke ci cover clean
 
 all: build test
 
@@ -14,13 +14,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Static analysis: go vet plus the repo's own determinism linter
-# (cmd/lint — maporder, wallclock, errcompare, lockdiscipline,
-# metricsdiscipline; see ARCHITECTURE.md "Static analysis"). Part of
-# tier-1 verify.
+# Static analysis: go vet plus the repo's own two-tier linter
+# (cmd/lint — five per-unit checks and three interprocedural checks
+# over the whole-module call graph; see ARCHITECTURE.md "Static
+# analysis"). Part of tier-1 verify.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lint ./...
+
+# The analyzer fixture corpus: every file under
+# internal/analysis/testdata must produce exactly its // want
+# annotations — each minimized from a real bug class the linter is
+# contracted to catch. Run after changing any analyzer.
+lint-fixtures:
+	$(GO) test -run 'TestFixtureCorpus' -count=1 ./internal/analysis
 
 # The full local gate: what CI runs on every change.
 check: build test lint

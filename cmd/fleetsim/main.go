@@ -108,7 +108,7 @@ func startPhase(label string) *phaseTimer {
 }
 
 func (p *phaseTimer) done() {
-	//lint:ignore wallclock phase timing is operator diagnostics on stderr; simulated state never reads it
+	//lint:ignore wallclock,detflow phase timing is operator diagnostics on stderr; simulated state never reads it and stderr is not diffed
 	fmt.Fprintf(os.Stderr, "fleetsim: phase %-8s %8.2fs\n", p.label, time.Since(p.start).Seconds())
 }
 

@@ -1,7 +1,9 @@
 // Command lint runs the repo's determinism-and-correctness analyzers
-// (internal/analysis) over the module: maporder, wallclock,
-// errcompare, lockdiscipline, and metricsdiscipline. It is part of
-// tier-1 verify via `make lint`.
+// (internal/analysis) over the module. The suite has two tiers: five
+// per-unit checks (maporder, wallclock, errcompare, lockdiscipline,
+// metricsdiscipline) and three interprocedural checks that run over
+// the whole-module call graph (lockorder, detflow, leakcheck). It is
+// part of tier-1 verify via `make lint`.
 //
 // Usage:
 //
@@ -15,9 +17,15 @@
 // and the exit status is 1 when there are findings, 2 on load or
 // usage errors, 0 otherwise.
 //
+// With -json, diagnostics emit as a JSON array of objects with stable
+// fields {file, line, column, check, message}, where file is the
+// module-root-relative slash-separated path — independent of the
+// working directory, so CI annotation does not break when the tool is
+// invoked from a subdirectory.
+//
 // Flags:
 //
-//	-checks maporder,wallclock   run only the named checks
+//	-checks maporder,lockorder   run only the named checks
 //	-json                        emit diagnostics as a JSON array
 //	-ignores                     print the //lint:ignore inventory and exit
 //	-list                        print the available checks and exit
@@ -100,16 +108,9 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	diags := analysis.Run(units, analyzers)
 	if *jsonFlag {
-		type jsonDiag struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Col     int    `json:"col"`
-			Check   string `json:"check"`
-			Message string `json:"message"`
-		}
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
-			out = append(out, jsonDiag{relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+			out = append(out, jsonDiag{moduleRel(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message})
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -147,6 +148,19 @@ func findModuleRoot() (string, error) {
 	}
 }
 
+// jsonDiag is the -json output record. The field set is a stable
+// contract for CI annotation: file (module-root-relative, slash
+// separated), line, column (both 1-based), check, message.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// relPath renders p relative to the working directory for human
+// output; paths outside it stay absolute.
 func relPath(p string) string {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -156,4 +170,14 @@ func relPath(p string) string {
 		return rel
 	}
 	return p
+}
+
+// moduleRel renders p relative to the module root with forward
+// slashes, so -json output is identical no matter where lint runs
+// from.
+func moduleRel(root, p string) string {
+	if rel, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(p)
 }

@@ -84,6 +84,7 @@ func main() {
 	//lint:ignore wallclock load generation is timed against the real server
 	elapsed := time.Since(start)
 	rate := float64(executed.Load()) / elapsed.Seconds()
+	//lint:ignore detflow the throughput summary of a live load test is wall-time by definition; nothing replays it
 	fmt.Printf("sqlload: %d executed, %d errors over %d conns in %v (%.0f stmts/sec)\n",
 		executed.Load(), errors.Load(), *conns, elapsed.Round(time.Millisecond), rate)
 	if errors.Load() > 0 {

@@ -61,7 +61,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// An Analyzer is one named check over a type-checked package unit.
+// An Analyzer is one named check. Per-function analyzers set Run and
+// see one type-checked unit at a time; interprocedural analyzers set
+// RunProgram instead and see the whole module at once (call graph +
+// fact store, see callgraph.go / interproc.go). Exactly one of Run and
+// RunProgram is non-nil.
 type Analyzer struct {
 	// Name is the check name used in diagnostics, //lint:ignore
 	// directives, and the cmd/lint -checks filter.
@@ -71,9 +75,14 @@ type Analyzer struct {
 	// SkipTests excludes _test.go files from this check. The wallclock
 	// analyzer sets it: tests legitimately sleep to coordinate real
 	// goroutines, and test wall-time never feeds simulation output.
+	// Interprocedural analyzers honor it per function node: test-file
+	// functions still contribute call-graph edges and facts, but never
+	// diagnostics.
 	SkipTests bool
 	// Run inspects the unit and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole module at once.
+	RunProgram func(*ProgramPass)
 }
 
 // A Pass carries one analyzer's view of one type-checked unit.
@@ -104,7 +113,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five
+// per-function passes, then the three interprocedural passes.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrderAnalyzer,
@@ -112,6 +122,9 @@ func Analyzers() []*Analyzer {
 		ErrCompareAnalyzer,
 		LockDisciplineAnalyzer,
 		MetricsDisciplineAnalyzer,
+		LockOrderAnalyzer,
+		DetFlowAnalyzer,
+		LeakCheckAnalyzer,
 	}
 }
 
@@ -131,13 +144,24 @@ func ByName(name string) *Analyzer {
 // diagnostics of the pseudo-check "directive", which cannot be
 // suppressed.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var perUnit, perProgram []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			perProgram = append(perProgram, a)
+		} else {
+			perUnit = append(perUnit, a)
+		}
+	}
+
 	var diags []Diagnostic
+	var allIgnores []Ignore
 	for _, u := range units {
 		ignores, bad := collectIgnores(u.Fset, u.Files)
 		diags = append(diags, bad...)
+		allIgnores = append(allIgnores, ignores...)
 
 		var unitDiags []Diagnostic
-		for _, a := range analyzers {
+		for _, a := range perUnit {
 			files := u.Files
 			if a.SkipTests {
 				files = nil
@@ -162,6 +186,21 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 		diags = append(diags, filterIgnored(unitDiags, ignores)...)
+	}
+
+	if len(perProgram) > 0 && len(units) > 0 {
+		prog := BuildProgram(units)
+		var progDiags []Diagnostic
+		for _, a := range perProgram {
+			pass := &ProgramPass{
+				Analyzer: a,
+				Prog:     prog,
+				Facts:    NewFactStore(),
+				diags:    &progDiags,
+			}
+			a.RunProgram(pass)
+		}
+		diags = append(diags, filterIgnored(progDiags, allIgnores)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

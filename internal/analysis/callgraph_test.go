@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildTestProgram type-checks one in-memory source file and builds the
+// whole-module call graph over it as a single unit.
+func buildTestProgram(t *testing.T, filename, src string) *Program {
+	t.Helper()
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	pkg, info, err := l.check("autoindex/internal/analysis/cg", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	u := &Unit{
+		Path:      "autoindex/internal/analysis/cg",
+		Fset:      l.fset,
+		Files:     []*ast.File{f},
+		TestFiles: make(map[*ast.File]bool),
+		Pkg:       pkg,
+		Info:      info,
+	}
+	return BuildProgram([]*Unit{u})
+}
+
+// programEdges flattens the graph to caller display name → sorted,
+// deduplicated callee display names. Every node appears as a key, so an
+// empty edge set is observable.
+func programEdges(p *Program) map[string][]string {
+	edges := make(map[string][]string)
+	for _, n := range p.Nodes {
+		seen := make(map[string]bool)
+		edges[n.Name] = []string{}
+		for _, cs := range n.Calls {
+			for _, c := range cs.Callees {
+				if !seen[c.Name] {
+					seen[c.Name] = true
+					edges[n.Name] = append(edges[n.Name], c.Name)
+				}
+			}
+		}
+		sort.Strings(edges[n.Name])
+	}
+	return edges
+}
+
+// anyDynamic reports whether the named caller has at least one call
+// site resolved by signature matching rather than direct reference.
+func anyDynamic(p *Program, caller string) bool {
+	for _, n := range p.Nodes {
+		if n.Name != caller {
+			continue
+		}
+		for _, cs := range n.Calls {
+			if cs.Dynamic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestCallGraphResolution pins the builder's resolution rules: static
+// calls and recursion resolve to exactly one node, interface dispatch
+// fans out to same-name same-signature methods only, method values and
+// function-typed fields resolve through the address-taken index, and a
+// plain method call does NOT make its method a dynamic-dispatch
+// candidate.
+func TestCallGraphResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// edges gives the exact expected callee set for each listed
+		// caller (display names); callers not listed are not checked.
+		edges map[string][]string
+		// dynamic gives the expected "has a dynamic call site" flag for
+		// each listed caller.
+		dynamic map[string]bool
+	}{
+		{
+			name: "static call and recursion",
+			src: `package cg
+
+func walkTree(depth int) int {
+	if depth <= 0 {
+		return leafCost()
+	}
+	return walkTree(depth-1) + 1
+}
+
+func leafCost() int { return 1 }
+`,
+			edges: map[string][]string{
+				"cg.walkTree": {"cg.leafCost", "cg.walkTree"},
+				"cg.leafCost": {},
+			},
+			dynamic: map[string]bool{"cg.walkTree": false},
+		},
+		{
+			name: "interface dispatch matches name and signature",
+			src: `package cg
+
+type coster interface{ cost() int }
+
+type seekCost struct{}
+
+func (seekCost) cost() int { return 2 }
+
+type scanCost struct{}
+
+func (scanCost) cost() int { return 9 }
+
+// colStats.cost has a different signature: never a candidate.
+type colStats struct{}
+
+func (colStats) cost(rows int) int { return rows }
+
+func total(cs []coster) int {
+	sum := 0
+	for _, c := range cs {
+		sum += c.cost()
+	}
+	return sum
+}
+`,
+			edges: map[string][]string{
+				"cg.total": {"cg.(scanCost).cost", "cg.(seekCost).cost"},
+			},
+			dynamic: map[string]bool{"cg.total": true},
+		},
+		{
+			name: "method value call resolves to the taken method",
+			src: `package cg
+
+type retryQueue struct{ n int }
+
+func (q *retryQueue) drain() { q.n = 0 }
+
+func run(q *retryQueue) {
+	hook := q.drain
+	hook()
+}
+`,
+			edges: map[string][]string{
+				"cg.run": {"cg.(*retryQueue).drain"},
+			},
+			dynamic: map[string]bool{"cg.run": true},
+		},
+		{
+			name: "function-typed field call matches by signature",
+			src: `package cg
+
+type flusher struct{ onFlush func(int) }
+
+func logFlush(n int) {}
+
+// dropFlush is address-taken but has the wrong signature for onFlush.
+func dropFlush() {}
+
+var dropHook = dropFlush
+
+func wire(f *flusher) { f.onFlush = logFlush }
+
+func flush(f *flusher) { f.onFlush(3) }
+`,
+			edges: map[string][]string{
+				"cg.flush": {"cg.logFlush"},
+				"cg.wire":  {},
+			},
+			dynamic: map[string]bool{"cg.flush": true},
+		},
+		{
+			name: "plain method call is static and not address-taken",
+			src: `package cg
+
+type ticker struct{ n int }
+
+func (tk *ticker) tick() { tk.n++ }
+
+func poll(tk *ticker) { tk.tick() }
+
+// invoke's h() must NOT resolve to tick: tick is only ever called
+// directly, never referenced as a value.
+func invoke(h func()) { h() }
+`,
+			edges: map[string][]string{
+				"cg.poll":   {"cg.(*ticker).tick"},
+				"cg.invoke": {},
+			},
+			dynamic: map[string]bool{"cg.poll": false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			filename := strings.ReplaceAll(tc.name, " ", "_") + ".go"
+			p := buildTestProgram(t, filename, tc.src)
+			got := programEdges(p)
+			for caller, want := range tc.edges {
+				g, ok := got[caller]
+				if !ok {
+					t.Errorf("no node named %s in graph (have %v)", caller, nodeNames(p))
+					continue
+				}
+				if strings.Join(g, ",") != strings.Join(want, ",") {
+					t.Errorf("%s callees = %v, want %v", caller, g, want)
+				}
+			}
+			for caller, want := range tc.dynamic {
+				if gotDyn := anyDynamic(p, caller); gotDyn != want {
+					t.Errorf("%s dynamic = %v, want %v", caller, gotDyn, want)
+				}
+			}
+		})
+	}
+}
+
+func nodeNames(p *Program) []string {
+	var names []string
+	for _, n := range p.Nodes {
+		names = append(names, n.Name)
+	}
+	return names
+}
+
+// TestCallGraphReverseEdges checks Callers: recursion makes a node its
+// own caller, and dynamic dispatch contributes reverse edges too.
+func TestCallGraphReverseEdges(t *testing.T) {
+	src := `package cg
+
+type waker interface{ wake() }
+
+type clockWake struct{}
+
+func (clockWake) wake() { ping() }
+
+func ping() { ping() }
+
+func fire(w waker) { w.wake() }
+`
+	p := buildTestProgram(t, "reverse.go", src)
+	callersOf := func(name string) []string {
+		for _, n := range p.Nodes {
+			if n.Name != name {
+				continue
+			}
+			var out []string
+			for _, c := range p.Callers(n) {
+				out = append(out, c.Name)
+			}
+			sort.Strings(out)
+			return out
+		}
+		t.Fatalf("no node named %s", name)
+		return nil
+	}
+	if got := callersOf("cg.ping"); strings.Join(got, ",") != "cg.(clockWake).wake,cg.ping" {
+		t.Errorf("callers of ping = %v, want [cg.(clockWake).wake cg.ping]", got)
+	}
+	if got := callersOf("cg.(clockWake).wake"); strings.Join(got, ",") != "cg.fire" {
+		t.Errorf("callers of wake = %v, want [cg.fire]", got)
+	}
+}

@@ -24,6 +24,8 @@ var fixtureOverrides = map[string]struct {
 	"wallclock_serve.go":          {pkgPath: "autoindex/internal/serve"},
 	"wallclock_testfile.go":       {asTest: true},
 	"metricsdiscipline_timing.go": {asTest: true},
+	"detflow_capture.go":          {pkgPath: "autoindex/internal/serve"},
+	"leakcheck_serve.go":          {pkgPath: "autoindex/internal/serve"},
 }
 
 // want pins one expected diagnostic (a regexp over "check: message")
@@ -147,9 +149,17 @@ func TestFixtureCorpus(t *testing.T) {
 	}
 }
 
-// checkUnit type-checks one in-memory source file under the module
-// path and runs the named analyzers over it.
+// checkUnit type-checks one in-memory source file under a neutral
+// module path and runs the named analyzers over it.
 func checkUnit(t *testing.T, filename, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	return checkUnitAt(t, filename, src, "autoindex/internal/analysis/inline", analyzers)
+}
+
+// checkUnitAt is checkUnit with an explicit import path, for analyzers
+// whose behavior depends on the package (leakcheck's serving-path
+// scope, the sanctioned-package exemptions).
+func checkUnitAt(t *testing.T, filename, src, pkgPath string, analyzers []*Analyzer) []Diagnostic {
 	t.Helper()
 	moduleRoot, err := filepath.Abs("../..")
 	if err != nil {
@@ -163,12 +173,12 @@ func checkUnit(t *testing.T, filename, src string, analyzers []*Analyzer) []Diag
 	if err != nil {
 		t.Fatalf("parsing: %v", err)
 	}
-	pkg, info, err := l.check("autoindex/internal/analysis/inline", []*ast.File{f}, nil)
+	pkg, info, err := l.check(pkgPath, []*ast.File{f}, nil)
 	if err != nil {
 		t.Fatalf("type-checking: %v", err)
 	}
 	u := &Unit{
-		Path:      "autoindex/internal/analysis/inline",
+		Path:      pkgPath,
 		Fset:      l.fset,
 		Files:     []*ast.File{f},
 		TestFiles: make(map[*ast.File]bool),
@@ -186,6 +196,7 @@ func TestDiagnosticPositions(t *testing.T) {
 		name     string
 		analyzer *Analyzer
 		src      string
+		pkgPath  string // defaults to the neutral inline path
 		pos      string // "line:col" of the single expected diagnostic
 		substr   string
 	}{
@@ -260,11 +271,76 @@ func TestDiagnosticPositions(t *testing.T) {
 			pos:    "6:9",
 			substr: "metrics.NewCounterDesc called at runtime",
 		},
+		{
+			name:     "lockorder reports the re-acquiring call",
+			analyzer: LockOrderAnalyzer,
+			src: "package p\n" +
+				"\n" +
+				"import \"sync\"\n" +
+				"\n" +
+				"type box struct {\n" +
+				"\tmu sync.Mutex\n" +
+				"}\n" +
+				"\n" +
+				"func (b *box) outer() {\n" +
+				"\tb.mu.Lock()\n" +
+				"\tdefer b.mu.Unlock()\n" +
+				"\tb.inner()\n" + // line 12, "b" at col 2
+				"}\n" +
+				"\n" +
+				"func (b *box) inner() {\n" +
+				"\tb.mu.Lock()\n" +
+				"\tb.mu.Unlock()\n" +
+				"}\n",
+			pos:    "12:2",
+			substr: "may re-acquire it",
+		},
+		{
+			name:     "detflow reports the sink call",
+			analyzer: DetFlowAnalyzer,
+			src: "package p\n" +
+				"\n" +
+				"import (\n" +
+				"\t\"fmt\"\n" +
+				"\t\"time\"\n" +
+				")\n" +
+				"\n" +
+				"func stamp() time.Time {\n" +
+				"\treturn time.Now()\n" +
+				"}\n" +
+				"\n" +
+				"func emit() {\n" +
+				"\tfmt.Println(stamp())\n" + // line 13, "fmt" at col 2
+				"}\n",
+			pos:    "13:2",
+			substr: "reaches deterministic sink fmt.Println",
+		},
+		{
+			name:     "leakcheck reports the go call",
+			analyzer: LeakCheckAnalyzer,
+			src: "package p\n" +
+				"\n" +
+				"func spin() {\n" +
+				"\tfor {\n" +
+				"\t}\n" +
+				"}\n" +
+				"\n" +
+				"func launch() {\n" +
+				"\tgo spin()\n" + // line 9, "spin" at col 5
+				"}\n",
+			pkgPath: "autoindex/internal/serve",
+			pos:     "9:5",
+			substr:  "not provably joinable",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			filename := strings.ReplaceAll(tc.name, " ", "_") + ".go"
-			diags := checkUnit(t, filename, tc.src, []*Analyzer{tc.analyzer})
+			pkgPath := tc.pkgPath
+			if pkgPath == "" {
+				pkgPath = "autoindex/internal/analysis/inline"
+			}
+			diags := checkUnitAt(t, filename, tc.src, pkgPath, []*Analyzer{tc.analyzer})
 			if len(diags) != 1 {
 				t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
 			}

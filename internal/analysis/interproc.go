@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural half of the framework: a fact store
+// keyed by the canonical identity of a types.Object, and a worklist
+// driver that runs an analyzer's per-function transfer to a fixed
+// point across the whole module. Per-function analyzers (maporder,
+// wallclock, errcompare, lockdiscipline, metricsdiscipline) never see
+// any of this; the program analyzers (lockorder, detflow, leakcheck)
+// are built entirely on it.
+
+// A ProgramPass carries one interprocedural analyzer's view of the
+// whole module.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Facts    *FactStore
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A FactStore holds analyzer facts keyed by the canonical cross-unit
+// identity of a types.Object (see ObjectKey): the same function or
+// variable type-checked in two units (a package's own test-augmented
+// form and the canonical form its importers see) maps to one fact.
+type FactStore struct {
+	facts map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{facts: make(map[string]any)} }
+
+// Get returns the fact stored under obj, or nil.
+func (s *FactStore) Get(obj types.Object) any { return s.facts[ObjectKey(obj)] }
+
+// Set stores fact under obj.
+func (s *FactStore) Set(obj types.Object, fact any) { s.facts[ObjectKey(obj)] = fact }
+
+// GetKey / SetKey address facts by a pre-computed key — used for
+// derived keys like "funcKey#param2" that have no single object.
+func (s *FactStore) GetKey(key string) any       { return s.facts[key] }
+func (s *FactStore) SetKey(key string, fact any) { s.facts[key] = fact }
+
+// ObjectKey renders obj's canonical cross-unit identity. Functions use
+// go/types' FullName (package-path qualified, receiver included);
+// package-level variables use path.name; everything else (locals,
+// fields reached without a selection) falls back to declaration
+// position, which is stable within one loader's FileSet.
+func ObjectKey(obj types.Object) string {
+	switch o := obj.(type) {
+	case *types.Func:
+		return o.FullName()
+	case *types.Var:
+		if o.Pkg() != nil && !o.IsField() && o.Parent() == o.Pkg().Scope() {
+			return o.Pkg().Path() + "." + o.Name()
+		}
+	}
+	return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+}
+
+// FixedPoint runs transfer over every node until facts stabilize.
+// transfer returns the nodes whose facts it changed (itself included,
+// if its own summary changed); the driver re-enqueues each changed
+// node and its callers. Node order is deterministic, so fact
+// convergence — and therefore diagnostic order — is too. The pass
+// budget is generous but finite, as a defense against a non-monotone
+// transfer looping forever.
+func (p *Program) FixedPoint(transfer func(*FuncNode) []*FuncNode) {
+	inQueue := make(map[*FuncNode]bool, len(p.Nodes))
+	queue := make([]*FuncNode, 0, len(p.Nodes))
+	push := func(n *FuncNode) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, n := range p.Nodes {
+		push(n)
+	}
+	budget := len(p.Nodes)*64 + 1024
+	for i := 0; i < len(queue) && budget > 0; i++ {
+		budget--
+		n := queue[i]
+		inQueue[n] = false
+		for _, changed := range transfer(n) {
+			push(changed)
+			for _, caller := range p.Callers(changed) {
+				push(caller)
+			}
+		}
+	}
+}
+
+// --- shared state identity --------------------------------------------
+
+// stateKey identifies a mutex, channel, or WaitGroup across functions
+// and instances: struct fields key by owning type + field name (all
+// instances of serve.Server share one "Server.mu"), package-level vars
+// by package + name, locals by declaration position. Display is the
+// human form used in diagnostics.
+type stateKey struct {
+	Key     string
+	Display string
+}
+
+// stateKeyOf resolves the identity of the lvalue-ish expression e (the
+// receiver of mu.Lock(), the operand of close(ch), the receiver of
+// wg.Wait()). ok is false for expressions with no stable identity
+// (map elements, call results).
+func stateKeyOf(info *types.Info, fset *token.FileSet, e ast.Expr) (stateKey, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if owner, ownerPkg := namedOwner(sel.Recv()); owner != "" {
+				return stateKey{
+					Key:     ownerPkg + "." + owner + "." + x.Sel.Name,
+					Display: shortPkg(ownerPkg) + "." + owner + "." + x.Sel.Name,
+				}, true
+			}
+			// Field of an unnamed struct: fall back to the field object.
+			if obj := info.Uses[x.Sel]; obj != nil {
+				return posKey(fset, obj), true
+			}
+			return stateKey{}, false
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return stateKey{
+				Key:     v.Pkg().Path() + "." + v.Name(),
+				Display: v.Pkg().Name() + "." + v.Name(),
+			}, true
+		}
+		return stateKey{}, false
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return stateKey{}, false
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return stateKey{
+				Key:     v.Pkg().Path() + "." + v.Name(),
+				Display: v.Pkg().Name() + "." + v.Name(),
+			}, true
+		}
+		return posKey(fset, obj), true
+	case *ast.StarExpr:
+		return stateKeyOf(info, fset, x.X)
+	case *ast.IndexExpr:
+		// Collection element: identify by the collection itself, so
+		// "buckets[k].Lock / close(workers[i])" at least merge per
+		// collection.
+		return stateKeyOf(info, fset, x.X)
+	}
+	return stateKey{}, false
+}
+
+// namedOwner returns the named type (and its package path) a selection
+// receiver resolves to, dereferencing one pointer.
+func namedOwner(t types.Type) (name, pkgPath string) {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name(), ""
+	}
+	return obj.Name(), obj.Pkg().Path()
+}
+
+func posKey(fset *token.FileSet, obj types.Object) stateKey {
+	pos := fset.Position(obj.Pos())
+	return stateKey{
+		Key:     fmt.Sprintf("%s@%s:%d:%d", obj.Name(), pos.Filename, pos.Line, pos.Column),
+		Display: obj.Name(),
+	}
+}
+
+func shortPkg(path string) string {
+	return shortFile(path) // last path segment reads as the package name
+}

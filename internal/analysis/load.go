@@ -195,8 +195,11 @@ func (l *Loader) check(path string, files, extra []*ast.File) (*types.Package, *
 
 // LoadUnits loads analysis units for every package directory under
 // each of roots (recursing when a root ends in "/..."), relative to
-// the module root. testdata, vendor, and dot directories are skipped,
-// mirroring the go tool.
+// the module root. testdata (fixtures and fuzz corpora), vendor, dot,
+// and underscore directories are never loaded — not even when a root
+// names one of them explicitly — mirroring the go tool. Generated
+// files participate in type-checking but are excluded from the
+// analyzed file set.
 func (l *Loader) LoadUnits(roots ...string) ([]*Unit, error) {
 	dirs, err := l.expandDirs(roots)
 	if err != nil {
@@ -238,6 +241,9 @@ func (l *Loader) expandDirs(roots []string) ([]string, error) {
 		if !filepath.IsAbs(abs) {
 			abs = filepath.Join(l.moduleRoot, root)
 		}
+		if l.underSkippedDir(abs) {
+			continue
+		}
 		if !recursive {
 			add(abs)
 			continue
@@ -249,8 +255,7 @@ func (l *Loader) expandDirs(roots []string) ([]string, error) {
 			if !d.IsDir() {
 				return nil
 			}
-			n := d.Name()
-			if p != abs && (strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") || n == "testdata" || n == "vendor") {
+			if p != abs && skipDirName(d.Name()) {
 				return filepath.SkipDir
 			}
 			matches, _ := filepath.Glob(filepath.Join(p, "*.go"))
@@ -265,6 +270,48 @@ func (l *Loader) expandDirs(roots []string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
+}
+
+// skipDirName reports whether a directory of this name never holds
+// loadable packages: testdata trees (fixture sources and fuzz corpora),
+// vendor, and dot/underscore directories, per the go tool's rules.
+func skipDirName(n string) bool {
+	return strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") || n == "testdata" || n == "vendor"
+}
+
+// underSkippedDir reports whether dir lies inside a skipped directory,
+// judged by path components relative to the module root. It guards
+// explicit roots ("lint ./internal/analysis/testdata"), which bypass
+// the recursive walk's own filtering.
+func (l *Loader) underSkippedDir(dir string) bool {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == "." {
+		return false
+	}
+	for _, c := range strings.Split(filepath.ToSlash(rel), "/") {
+		if c == ".." || c == "." {
+			continue
+		}
+		if skipDirName(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropGenerated filters out files carrying the standard
+// "Code generated ... DO NOT EDIT." header. Generated files stay in
+// the type-check input — handwritten code may use their symbols — but
+// machine-written code is not actionable lint output, so they are
+// excluded from the file set analyzers see.
+func dropGenerated(files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !ast.IsGenerated(f) {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // loadDirUnits builds the units for one package directory: the base
@@ -296,16 +343,17 @@ func (l *Loader) loadDirUnits(dir string) ([]*Unit, error) {
 			return nil, fmt.Errorf("analysis: %s: %w", path, err)
 		}
 		augmented = pkg
+		analyzedBase, analyzedTest := dropGenerated(base), dropGenerated(inTest)
 		u := &Unit{
 			Path:      path,
 			Dir:       dir,
 			Fset:      l.fset,
-			Files:     append(append([]*ast.File(nil), base...), inTest...),
-			TestFiles: make(map[*ast.File]bool, len(inTest)),
+			Files:     append(append([]*ast.File(nil), analyzedBase...), analyzedTest...),
+			TestFiles: make(map[*ast.File]bool, len(analyzedTest)),
 			Pkg:       pkg,
 			Info:      info,
 		}
-		for _, f := range inTest {
+		for _, f := range analyzedTest {
 			u.TestFiles[f] = true
 		}
 		units = append(units, u)
@@ -329,16 +377,17 @@ func (l *Loader) loadDirUnits(dir string) ([]*Unit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %s [external test]: %w", path, err)
 		}
+		analyzedExt := dropGenerated(extTest)
 		u := &Unit{
 			Path:      path + ".test",
 			Dir:       dir,
 			Fset:      l.fset,
-			Files:     append([]*ast.File(nil), extTest...),
-			TestFiles: make(map[*ast.File]bool, len(extTest)),
+			Files:     append([]*ast.File(nil), analyzedExt...),
+			TestFiles: make(map[*ast.File]bool, len(analyzedExt)),
 			Pkg:       pkg,
 			Info:      info,
 		}
-		for _, f := range extTest {
+		for _, f := range analyzedExt {
 			u.TestFiles[f] = true
 		}
 		units = append(units, u)

@@ -1,0 +1,623 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer upgrades lockdiscipline from intra-function to
+// whole-program: it derives a mutex-acquisition-order graph from
+// per-function lock summaries propagated over the call graph, and
+// reports
+//
+//  1. cycles in the order graph — two call paths that acquire the same
+//     pair of mutexes in opposite orders can deadlock under
+//     concurrency even though every individual function looks fine;
+//  2. call sites that may re-acquire a mutex already held on the path
+//     — the cross-function form of lockdiscipline's double-lock rule,
+//     which self-deadlocks on the spot (sync.Mutex is not reentrant).
+//
+// Mutexes are identified structurally: struct fields merge across
+// instances ("serve.Server.mu" is one lock to the analyzer no matter
+// which server), package vars by name, locals by declaration site.
+// Merging instances over-approximates — locking a *different*
+// instance of the same field is flagged as a re-acquire — which is the
+// conservative direction for a deadlock check; genuinely
+// instance-disjoint designs carry an audited //lint:ignore. Read locks
+// (RLock) are ignored: shared locks nest legitimately.
+//
+// Only write-mode sync.Mutex/RWMutex operations participate. Calls via
+// `go` are excluded (the goroutine does not inherit the caller's
+// locks), as are deferred calls (they run at return, after the
+// deferred unlocks this repo pairs them with).
+var LockOrderAnalyzer = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "whole-program mutex acquisition-order cycles and re-acquiring a held mutex through a call chain",
+	SkipTests:  true,
+	RunProgram: runLockOrder,
+}
+
+// A lockSite is one static acquisition of an identified mutex.
+type lockSite struct {
+	key stateKey
+	pos token.Pos
+}
+
+// A heldCall is a call made while at least one write lock is held.
+type heldCall struct {
+	pos     token.Pos
+	callees []*FuncNode
+	held    []lockSite // sorted by key
+}
+
+// A lockSummary is one function's local lock behavior.
+type lockSummary struct {
+	acquires map[string]lockSite // first local acquisition per key
+	pairs    [][2]lockSite       // [A held, B acquired] in-function order edges
+	calls    []heldCall
+}
+
+func runLockOrder(pass *ProgramPass) {
+	prog := pass.Prog
+	summaries := make(map[*FuncNode]*lockSummary, len(prog.Nodes))
+	for _, n := range prog.Nodes {
+		if n.Test {
+			continue
+		}
+		summaries[n] = summarizeLocks(prog, n)
+	}
+
+	// Fixed point: may[f] = f's local acquisitions ∪ may[callees].
+	const mayPrefix = "lockorder.may:"
+	may := func(n *FuncNode) map[string]lockSite {
+		m, _ := pass.Facts.GetKey(mayPrefix + n.Key).(map[string]lockSite)
+		return m
+	}
+	prog.FixedPoint(func(n *FuncNode) []*FuncNode {
+		sum := summaries[n]
+		if sum == nil {
+			return nil
+		}
+		cur := may(n)
+		next := make(map[string]lockSite, len(cur))
+		for k, v := range sum.acquires {
+			next[k] = v
+		}
+		for _, cs := range n.Calls {
+			if cs.Go {
+				continue
+			}
+			for _, c := range cs.Callees {
+				for k, v := range may(c) {
+					if _, ok := next[k]; !ok {
+						next[k] = v
+					}
+				}
+			}
+		}
+		if len(next) == len(cur) {
+			return nil
+		}
+		pass.Facts.SetKey(mayPrefix+n.Key, next)
+		return []*FuncNode{n}
+	})
+
+	// Rule 2: re-acquire through a call chain, and collection of
+	// cross-function order edges.
+	edges := make(map[string]map[string]orderEdge)
+	display := make(map[string]string)
+	addEdge := func(from, to lockSite, pos token.Pos, via string) {
+		if from.key.Key == to.key.Key {
+			return
+		}
+		display[from.key.Key] = from.key.Display
+		display[to.key.Key] = to.key.Display
+		m := edges[from.key.Key]
+		if m == nil {
+			m = make(map[string]orderEdge)
+			edges[from.key.Key] = m
+		}
+		if _, ok := m[to.key.Key]; !ok {
+			m[to.key.Key] = orderEdge{pos: pos, via: via}
+		}
+	}
+
+	for _, n := range prog.Nodes {
+		sum := summaries[n]
+		if sum == nil {
+			continue
+		}
+		for _, pr := range sum.pairs {
+			addEdge(pr[0], pr[1], pr[1].pos, "")
+		}
+		for _, hc := range sum.calls {
+			reported := false
+			for _, c := range hc.callees {
+				acq := may(c)
+				if acq == nil {
+					continue
+				}
+				for _, h := range hc.held {
+					if site, ok := acq[h.key.Key]; ok && !reported {
+						reported = true
+						pass.Reportf(hc.pos, "call to %s while holding %s may re-acquire it (Lock at %s); sync mutexes are not reentrant, this deadlocks",
+							c.Name, h.key.Display, prog.Fset.Position(site.pos))
+					}
+				}
+				keys := make([]string, 0, len(acq))
+				for k := range acq {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, h := range hc.held {
+					for _, k := range keys {
+						addEdge(h, lockSite{key: stateKey{Key: k, Display: acq[k].key.Display}}, hc.pos, c.Name)
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 1: cycles. Find strongly connected components of the order
+	// graph; any SCC with ≥2 mutexes means two opposite-order
+	// acquisition paths exist.
+	for _, scc := range stronglyConnected(edges) {
+		if len(scc) < 2 {
+			continue
+		}
+		var parts []string
+		minPos := token.Pos(0)
+		for _, from := range scc {
+			for _, to := range scc {
+				e, ok := edges[from][to]
+				if !ok {
+					continue
+				}
+				via := ""
+				if e.via != "" {
+					via = " via " + e.via
+				}
+				parts = append(parts, fmt.Sprintf("%s → %s (%s%s)",
+					display[from], display[to], prog.Fset.Position(e.pos), via))
+				if minPos == 0 || e.pos < minPos {
+					minPos = e.pos
+				}
+			}
+		}
+		names := make([]string, len(scc))
+		for i, k := range scc {
+			names[i] = display[k]
+		}
+		pass.Reportf(minPos, "lock acquisition order cycle between %s: %s; opposite-order paths can deadlock under concurrency",
+			strings.Join(names, ", "), strings.Join(parts, "; "))
+	}
+}
+
+// An orderEdge records the first witness of "from is held while to is
+// acquired": the acquisition (or call) position and, for edges crossing
+// a call, the callee that performs the acquisition.
+type orderEdge struct {
+	pos token.Pos
+	via string // callee display name, "" for in-function edges
+}
+
+// stronglyConnected returns the SCCs of the order graph with each
+// component and the component list deterministically sorted.
+func stronglyConnected(edges map[string]map[string]orderEdge) [][]string {
+	nodes := make([]string, 0, len(edges))
+	nodeSet := make(map[string]bool)
+	add := func(k string) {
+		if !nodeSet[k] {
+			nodeSet[k] = true
+			nodes = append(nodes, k)
+		}
+	}
+	for from, tos := range edges {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	succ := func(k string) []string {
+		tos := make([]string, 0, len(edges[k]))
+		for to := range edges[k] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		return tos
+	}
+
+	// Iterative Tarjan.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		v    string
+		succ []string
+		i    int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{v: root, succ: succ(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: succ(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.v] < low[parent.v] {
+					low[parent.v] = low[f.v]
+				}
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// --- local summary ----------------------------------------------------
+
+// mutexWriteOp classifies call as a write-mode mutex operation
+// (Lock/Unlock on sync.Mutex or sync.RWMutex, including embedded
+// promotions) and resolves the mutex's identity.
+func mutexWriteOp(u *Unit, fset *token.FileSet, call *ast.CallExpr) (key stateKey, acquire, ok bool) {
+	fn, sel := methodOf(u.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return stateKey{}, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return stateKey{}, false, false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return stateKey{}, false, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return stateKey{}, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock":
+	default:
+		return stateKey{}, false, false // RLock/RUnlock/TryLock: no write ordering
+	}
+	k, kok := stateKeyOf(u.Info, fset, sel.X)
+	if !kok {
+		pos := fset.Position(call.Pos())
+		k = stateKey{
+			Key:     fmt.Sprintf("mutex@%s:%d", pos.Filename, pos.Line),
+			Display: types.ExprString(sel.X),
+		}
+	}
+	return k, fn.Name() == "Lock", true
+}
+
+// summarizeLocks computes the node's local lock summary with the same
+// branch-aware held tracking lockdiscipline uses: branches merge by
+// intersection, terminated branches contribute nothing, so the summary
+// under-reports rather than inventing held sets.
+func summarizeLocks(prog *Program, n *FuncNode) *lockSummary {
+	sc := &lockSummarizer{prog: prog, node: n, sum: &lockSummary{acquires: make(map[string]lockSite)}}
+	sc.stmts(n.Body.List, map[string]lockSite{})
+	return sc.sum
+}
+
+type lockSummarizer struct {
+	prog *Program
+	node *FuncNode
+	sum  *lockSummary
+}
+
+func (sc *lockSummarizer) stmts(list []ast.Stmt, held map[string]lockSite) bool {
+	for _, s := range list {
+		if sc.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement, mutating held; it reports whether the
+// statement definitely terminates the enclosing list.
+func (sc *lockSummarizer) stmt(s ast.Stmt, held map[string]lockSite) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		sc.expr(st.X, held)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			sc.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			sc.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			sc.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IncDecStmt:
+		sc.expr(st.X, held)
+	case *ast.SendStmt:
+		sc.expr(st.Chan, held)
+		sc.expr(st.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						sc.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		return sc.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		return sc.stmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, held)
+		}
+		sc.expr(st.Cond, held)
+		thenHeld := copySites(held)
+		thenTerm := sc.stmts(st.Body.List, thenHeld)
+		elseHeld := copySites(held)
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = sc.stmt(st.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm && st.Else != nil:
+			return true
+		case thenTerm:
+			replaceSites(held, elseHeld)
+		case elseTerm:
+			replaceSites(held, thenHeld)
+		default:
+			replaceSites(held, intersectSites(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			sc.expr(st.Cond, held)
+		}
+		bodyHeld := copySites(held)
+		sc.stmts(st.Body.List, bodyHeld)
+		if st.Post != nil {
+			sc.stmt(st.Post, bodyHeld)
+		}
+		replaceSites(held, intersectSites(held, bodyHeld))
+	case *ast.RangeStmt:
+		sc.expr(st.X, held)
+		bodyHeld := copySites(held)
+		sc.stmts(st.Body.List, bodyHeld)
+		replaceSites(held, intersectSites(held, bodyHeld))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			sc.expr(st.Tag, held)
+		}
+		sc.clauses(st.Body, held, hasDefaultClause(st.Body))
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, held)
+		}
+		sc.clauses(st.Body, held, hasDefaultClause(st.Body))
+	case *ast.SelectStmt:
+		sc.clauses(st.Body, held, true)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's locks; only the
+		// synchronously-evaluated arguments are scanned.
+		for _, a := range st.Call.Args {
+			sc.expr(a, held)
+		}
+	case *ast.DeferStmt:
+		// Runs at return, after this repo's deferred unlocks; args are
+		// evaluated now though.
+		for _, a := range st.Call.Args {
+			sc.expr(a, held)
+		}
+	}
+	return false
+}
+
+func (sc *lockSummarizer) clauses(body *ast.BlockStmt, held map[string]lockSite, exhaustive bool) {
+	var results []map[string]lockSite
+	if !exhaustive {
+		results = append(results, copySites(held))
+	}
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				sc.stmt(c.Comm, held)
+			}
+			list = c.Body
+		default:
+			continue
+		}
+		ch := copySites(held)
+		if !sc.stmts(list, ch) {
+			results = append(results, ch)
+		}
+	}
+	if len(results) == 0 {
+		return
+	}
+	merged := results[0]
+	for _, r := range results[1:] {
+		merged = intersectSites(merged, r)
+	}
+	replaceSites(held, merged)
+}
+
+// expr walks e in evaluation order, updating held at mutex operations
+// and recording calls made with locks held.
+func (sc *lockSummarizer) expr(e ast.Expr, held map[string]lockSite) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			sc.expr(a, held)
+		}
+		if key, acquire, ok := mutexWriteOp(sc.node.Unit, sc.prog.Fset, x); ok {
+			if acquire {
+				site := lockSite{key: key, pos: x.Pos()}
+				for _, h := range sortedSites(held) {
+					sc.sum.pairs = append(sc.sum.pairs, [2]lockSite{h, site})
+				}
+				if _, seen := sc.sum.acquires[key.Key]; !seen {
+					sc.sum.acquires[key.Key] = site
+				}
+				held[key.Key] = site
+			} else {
+				delete(held, key.Key)
+			}
+			return
+		}
+		sc.expr(x.Fun, held)
+		if len(held) > 0 {
+			if cs := sc.prog.SiteFor(x); cs != nil && len(cs.Callees) > 0 {
+				sc.sum.calls = append(sc.sum.calls, heldCall{
+					pos:     x.Pos(),
+					callees: cs.Callees,
+					held:    sortedSites(held),
+				})
+			}
+		}
+	case *ast.FuncLit:
+		// Its own node; a held lock does not transfer into it unless it
+		// is called here, which the CallExpr case above handles.
+	case *ast.ParenExpr:
+		sc.expr(x.X, held)
+	case *ast.SelectorExpr:
+		sc.expr(x.X, held)
+	case *ast.StarExpr:
+		sc.expr(x.X, held)
+	case *ast.UnaryExpr:
+		sc.expr(x.X, held)
+	case *ast.BinaryExpr:
+		sc.expr(x.X, held)
+		sc.expr(x.Y, held)
+	case *ast.IndexExpr:
+		sc.expr(x.X, held)
+		sc.expr(x.Index, held)
+	case *ast.SliceExpr:
+		sc.expr(x.X, held)
+		sc.expr(x.Low, held)
+		sc.expr(x.High, held)
+		sc.expr(x.Max, held)
+	case *ast.TypeAssertExpr:
+		sc.expr(x.X, held)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			sc.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(x.Key, held)
+		sc.expr(x.Value, held)
+	}
+}
+
+func sortedSites(held map[string]lockSite) []lockSite {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockSite, len(keys))
+	for i, k := range keys {
+		out[i] = held[k]
+	}
+	return out
+}
+
+func copySites(h map[string]lockSite) map[string]lockSite {
+	out := make(map[string]lockSite, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectSites(a, b map[string]lockSite) map[string]lockSite {
+	out := make(map[string]lockSite)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func replaceSites(dst, src map[string]lockSite) {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,79 @@
+// Leakcheck fixtures, type-checked under "autoindex/internal/serve"
+// (see fixtureOverrides): goroutines on the serving path must be
+// provably joinable. leakyStart is the minimized pre-Shutdown session
+// leak — every accepted connection spawned a pump goroutine that
+// nothing ever joined, so a long-lived server accumulated one stuck
+// goroutine per dropped client. The other launchers show the three
+// blessed shapes: waited WaitGroup, done-channel select, and a join
+// channel the launcher drains.
+package fixture
+
+import (
+	"io"
+	"sync"
+)
+
+type sessionPump struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	out  chan byte
+}
+
+// pump loops forever with no shutdown signal: launching it leaks.
+func (p *sessionPump) pump(conn io.Reader) {
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			continue
+		}
+	}
+}
+
+func (p *sessionPump) leakyStart(conn io.Reader) {
+	go p.pump(conn) // want "leakcheck: goroutine fixture.\(\*sessionPump\).pump is not provably joinable"
+}
+
+// waitedStart registers with the WaitGroup Shutdown waits on: joinable.
+func (p *sessionPump) waitedStart(conn io.Reader) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}()
+}
+
+// signalStart's goroutine selects on the done channel Shutdown closes:
+// joinable.
+func (p *sessionPump) signalStart() {
+	go p.watch()
+}
+
+func (p *sessionPump) watch() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case b := <-p.out:
+			_ = b
+		}
+	}
+}
+
+func (p *sessionPump) Shutdown() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// drainedStop hands its goroutine a join channel and blocks on it: the
+// launcher itself is the joiner.
+func (p *sessionPump) drainedStop() {
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	<-drained
+}

@@ -1,0 +1,55 @@
+// Lockorder cycle fixture: two lock-disciplined functions that acquire
+// the same pair of mutexes in opposite orders. Each function is clean
+// on its own — lockdiscipline has nothing to say — but together they
+// can deadlock: one goroutine in lockAB holding ordA while another in
+// lockBA holds ordB leaves both waiting forever. Minimized from the
+// shape of the binstance replay path racing the query-store recorder.
+package fixture
+
+import "sync"
+
+type ordPair struct {
+	ordA sync.Mutex
+	ordB sync.Mutex
+	n    int
+}
+
+func lockAB(p *ordPair) {
+	p.ordA.Lock()
+	p.ordB.Lock() // want "lockorder: lock acquisition order cycle between testdata.ordPair.ordA, testdata.ordPair.ordB"
+	p.n++
+	p.ordB.Unlock()
+	p.ordA.Unlock()
+}
+
+func lockBA(p *ordPair) {
+	p.ordB.Lock()
+	p.ordA.Lock()
+	p.n--
+	p.ordA.Unlock()
+	p.ordB.Unlock()
+}
+
+// consistent acquires the same pair in lockAB's order: an edge, but no
+// cycle, so no diagnostic.
+type ordOK struct {
+	first  sync.Mutex
+	second sync.Mutex
+	n      int
+}
+
+func consistentOne(p *ordOK) {
+	p.first.Lock()
+	p.second.Lock()
+	p.n++
+	p.second.Unlock()
+	p.first.Unlock()
+}
+
+func consistentTwo(p *ordOK) {
+	p.first.Lock()
+	p.second.Lock()
+	p.n--
+	p.second.Unlock()
+	p.first.Unlock()
+}

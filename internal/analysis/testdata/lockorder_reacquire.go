@@ -1,0 +1,42 @@
+// Lockorder re-acquire fixture: a locked-caller convention gone wrong.
+// Flush locks the buffer, then calls a helper that locks it again —
+// sync.Mutex is not reentrant, so the helper blocks on the lock its
+// own caller holds. Intra-function lockdiscipline cannot see this (each
+// function pairs its Lock/Unlock correctly); only the call graph does.
+// Minimized from a replay-buffer drain path.
+package fixture
+
+import "sync"
+
+type replayBuf struct {
+	rmu     sync.Mutex
+	pending []string
+}
+
+func (b *replayBuf) Flush() {
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	for len(b.pending) > 0 {
+		b.replayLocked() // want "lockorder: call to fixture.\(\*replayBuf\).replayLocked while holding testdata.replayBuf.rmu may re-acquire it"
+	}
+}
+
+// replayLocked is misnamed: it takes the lock itself.
+func (b *replayBuf) replayLocked() {
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if len(b.pending) > 0 {
+		b.pending = b.pending[1:]
+	}
+}
+
+// The fix: drain after releasing, or keep the helper lock-free. Calling
+// the locking helper with the mutex released is fine.
+func (b *replayBuf) FlushFixed() {
+	b.rmu.Lock()
+	n := len(b.pending)
+	b.rmu.Unlock()
+	for i := 0; i < n; i++ {
+		b.replayLocked()
+	}
+}
