@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint lint-fixtures check bench bench-gate smoke ci cover clean
+.PHONY: all build test race vet lint lint-fixtures check bench bench-gate smoke scenarios race-scenarios ci cover clean
 
 all: build test
 
@@ -99,10 +99,24 @@ bench-gate:
 smoke:
 	$(GO) test -run 'TestLiveTrafficSmoke' -count=1 .
 
+# The adversarial scenario pack (internal/scenario): all four
+# generators at the pinned CI seed, writing the invariant verdicts to
+# verdicts.json. Exits non-zero when any verdict fails; cmd/benchdiff
+# can diff verdicts.json files to gate revert-rate regressions. The
+# nightly workflow sweeps many seeds with -seeds.
+scenarios:
+	$(GO) run ./cmd/fleetsim -experiment scenarios -scenario all -verdicts-out verdicts.json
+
+# The scenario determinism/acceptance suite under the race detector:
+# nightly-only (the generators run whole fleets, so race inflates the
+# runtime well past the PR budget).
+race-scenarios:
+	$(GO) test -race -count=1 ./internal/scenario
+
 # The single CI entry point: everything the workflow runs, runnable
 # locally with one command.
-ci: check race cover smoke bench-gate
+ci: check race cover smoke scenarios bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out metrics.json .bench_baseline.json .bench_rec_baseline.json .bench_serve_baseline.json .bench_scale_baseline.json
+	rm -f cover.out metrics.json verdicts.json .bench_baseline.json .bench_rec_baseline.json .bench_serve_baseline.json .bench_scale_baseline.json

@@ -17,13 +17,28 @@
 // are reported but never fail the gate; ratcheting the committed
 // baseline down is a deliberate, human act (see EXPERIMENTS.md
 // "Benchmark ratchet").
+//
+// benchdiff also diffs adversarial-scenario verdict files (the JSON
+// `fleetsim -experiment scenarios -verdicts-out` writes); the file kind
+// is sniffed, so the CLI is the same:
+//
+//	benchdiff verdicts.json.baseline verdicts.json
+//
+// Verdict runs are matched by (scenario, seed, chaos). A pass→fail
+// flip always fails the gate; a revert-rate regression gates like a
+// bench regression — the new rate must stay within -threshold of the
+// old one, with a small absolute slack so near-zero baselines cannot
+// flake the ratio.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+
+	"autoindex/internal/scenario"
 )
 
 type benchFile struct {
@@ -64,6 +79,129 @@ func minSec(b *benchFile) float64 {
 	return best
 }
 
+// File kinds benchdiff knows how to diff.
+const (
+	kindBench    = "bench"
+	kindVerdicts = "verdicts"
+)
+
+// sniff classifies a JSON input: bench files are objects, verdict files
+// (scenario.MarshalVerdicts output) are arrays.
+func sniff(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return "", fmt.Errorf("%s: empty file", path)
+	}
+	if trimmed[0] == '[' {
+		return kindVerdicts, nil
+	}
+	return kindBench, nil
+}
+
+// verdictRevertSlack is the absolute revert-rate increase a verdict
+// regression must exceed before the ratio gate applies: a 0.00→0.01
+// move is noise, not a 10x regression.
+const verdictRevertSlack = 0.02
+
+func evidenceValue(v scenario.Verdict, name string) (float64, bool) {
+	for _, e := range v.Evidence {
+		if e.Name == name {
+			return e.Value, true
+		}
+	}
+	return 0, false
+}
+
+// diffVerdicts gates a fresh verdict file against a baseline: a
+// pass→fail flip, or a revert-rate blow-up past threshold, fails.
+func diffVerdicts(oldPath, newPath string, threshold float64, stdout, stderr *os.File) int {
+	loadV := func(path string) ([]scenario.Verdict, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := scenario.UnmarshalVerdicts(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(vs) == 0 {
+			return nil, fmt.Errorf("%s: no verdicts", path)
+		}
+		return vs, nil
+	}
+	oldV, err := loadV(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newV, err := loadV(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	key := func(v scenario.Verdict) string {
+		return fmt.Sprintf("%s/seed=%d/chaos=%v", v.Scenario, v.Seed, v.Chaos)
+	}
+	baseline := make(map[string]scenario.Verdict, len(oldV))
+	for _, v := range oldV {
+		baseline[key(v)] = v
+	}
+
+	status := func(pass bool) string {
+		if pass {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	failures := 0
+	for _, nv := range newV {
+		ov, ok := baseline[key(nv)]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s %s  (new run, no baseline)\n", key(nv), status(nv.Pass))
+			if !nv.Pass {
+				failures++
+			}
+			continue
+		}
+		line := fmt.Sprintf("%-40s %s -> %s", key(nv), status(ov.Pass), status(nv.Pass))
+		switch {
+		case ov.Pass && !nv.Pass:
+			fmt.Fprintf(stdout, "%s  REGRESSION: verdict flipped\n", line)
+			failures++
+			continue
+		case !nv.Pass:
+			// Failing against a failing baseline is no worse; the
+			// baseline should be fixed, not ratcheted around.
+			fmt.Fprintf(stdout, "%s  (already failing in baseline)\n", line)
+			continue
+		}
+		oldRate, okOld := evidenceValue(ov, "revert-rate")
+		newRate, okNew := evidenceValue(nv, "revert-rate")
+		if !okOld || !okNew {
+			fmt.Fprintf(stdout, "%s\n", line)
+			continue
+		}
+		if newRate > oldRate*threshold && newRate >= oldRate+verdictRevertSlack {
+			fmt.Fprintf(stdout, "%s  REGRESSION: revert rate %.4f -> %.4f (limit %.2fx + %.2f slack)\n",
+				line, oldRate, newRate, threshold, verdictRevertSlack)
+			failures++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s  revert rate %.4f -> %.4f\n", line, oldRate, newRate)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d verdict regression(s) against %s\n", failures, oldPath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d verdict run(s) within gate\n", len(newV))
+	return 0
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -83,6 +221,24 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "benchdiff: -threshold must be positive")
 		return 2
 	}
+	oldKind, err := sniff(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newKind, err := sniff(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if oldKind != newKind {
+		fmt.Fprintf(stderr, "benchdiff: cannot diff a %s file against a %s file\n", oldKind, newKind)
+		return 2
+	}
+	if oldKind == kindVerdicts {
+		return diffVerdicts(fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
+	}
+
 	oldB, err := load(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +132,69 @@ func TestUsageAndParseErrors(t *testing.T) {
 	}
 	if code, _ := runDiff(t, "-threshold", "-1", oldP, oldP); code != 2 {
 		t.Errorf("bad threshold: exit %d, want 2", code)
+	}
+}
+
+// verdictJSON builds a one-verdict file body in the scenario JSON
+// contract (an array — what the kind sniffer keys on).
+func verdictJSON(scenarioName string, pass bool, revertRate float64) string {
+	return fmt.Sprintf(`[{"scenario":%q,"seed":20170301,"chaos":false,"pass":%v,
+		"checks":[{"name":"invariants-clean","pass":%v,"detail":"x"}],
+		"evidence":[{"name":"revert-rate","value":%v}]}]`, scenarioName, pass, pass, revertRate)
+}
+
+func TestVerdictDiffWithinGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", verdictJSON("workload-drift", true, 0.10))
+	newP := writeBench(t, dir, "new.json", verdictJSON("workload-drift", true, 0.11))
+	code, out := runDiff(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: 1 verdict run(s) within gate") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+}
+
+func TestVerdictPassFailFlipGates(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", verdictJSON("workload-drift", true, 0.10))
+	newP := writeBench(t, dir, "new.json", verdictJSON("workload-drift", false, 0.10))
+	code, out := runDiff(t, oldP, newP)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict flipped") {
+		t.Errorf("missing flip diagnosis:\n%s", out)
+	}
+}
+
+func TestVerdictRevertRateGates(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBench(t, dir, "old.json", verdictJSON("noisy-neighbor", true, 0.10))
+	// 1.8x the baseline and well past the absolute slack: gated.
+	newP := writeBench(t, dir, "new.json", verdictJSON("noisy-neighbor", true, 0.18))
+	code, out := runDiff(t, oldP, newP)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "revert rate 0.1000 -> 0.1800") {
+		t.Errorf("missing revert-rate diagnosis:\n%s", out)
+	}
+	// A near-zero baseline moving inside the absolute slack must not
+	// flake the ratio gate (0.00 -> 0.01 is noise, not a regression).
+	oldP = writeBench(t, dir, "old0.json", verdictJSON("noisy-neighbor", true, 0))
+	newP = writeBench(t, dir, "new0.json", verdictJSON("noisy-neighbor", true, 0.01))
+	if code, out := runDiff(t, oldP, newP); code != 0 {
+		t.Fatalf("slack: exit %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestVerdictKindMismatch(t *testing.T) {
+	dir := t.TempDir()
+	benchP := writeBench(t, dir, "bench.json", baseline)
+	verdP := writeBench(t, dir, "verd.json", verdictJSON("flash-crowd", true, 0))
+	if code, _ := runDiff(t, benchP, verdP); code != 2 {
+		t.Errorf("kind mismatch: exit %d, want 2", code)
 	}
 }

@@ -6,6 +6,14 @@
 //	fleetsim -experiment opstats -databases 12 -days 10     // §8.1 operational stats
 //	fleetsim -experiment reverts -databases 12 -days 10     // §8.1 revert analysis
 //	fleetsim -experiment scale -tenants 100000 -hours 24    // 100k-tenant scale mode
+//	fleetsim -experiment scenarios -scenario all            // adversarial scenario pack
+//
+// Scenario mode runs the internal/scenario adversarial generators
+// (workload drift, mid-run schema migration, flash-crowd bursts, noisy
+// neighbors) and emits one invariant verdict per scenario; -verdicts-out
+// writes the verdicts as stable JSON (the contract cmd/benchdiff diffs),
+// -seeds N sweeps N consecutive base seeds for nightly soak runs, and
+// the exit status is 1 when any verdict fails.
 //
 // Scale mode stamps tenants copy-on-write from shared archetypes,
 // hibernates idle tenants past the -resident-tenants cap, and streams one
@@ -36,11 +44,15 @@ import (
 	"autoindex/internal/engine"
 	"autoindex/internal/experiment"
 	"autoindex/internal/fleet"
+	"autoindex/internal/scenario"
 )
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "fig6", "fig6 | opstats | reverts | scale")
+		exp        = flag.String("experiment", "fig6", "fig6 | opstats | reverts | scale | scenarios")
+		scenName   = flag.String("scenario", "all", "scenarios mode: one scenario name, or all")
+		seedSweep  = flag.Int("seeds", 1, "scenarios mode: number of consecutive base seeds to sweep")
+		verdictOut = flag.String("verdicts-out", "", "scenarios mode: write verdict JSON to this file (stable bytes for a given seed at any -workers)")
 		tierStr    = flag.String("tier", "premium", "fig6 tier: premium | standard")
 		databases  = flag.Int("databases", 12, "fleet size (fig6/opstats/reverts)")
 		days       = flag.Int("days", 10, "virtual days (opstats/reverts)")
@@ -89,6 +101,8 @@ func main() {
 		runOps(*databases, *days, *seed, *workers, true, chaos, *metricsOut)
 	case "scale":
 		runScale(*tenants, *hours, *archetypes, *residents, *activeFrac, *dataScale, *seed, *workers, chaos, *metricsOut)
+	case "scenarios":
+		runScenarios(*scenName, *seed, *seedSweep, *workers, chaos.Enabled, *verdictOut)
 	default:
 		fmt.Fprintf(os.Stderr, "fleetsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -204,6 +218,80 @@ func runScale(tenants, hours, archetypes, residents int, activeFrac, dataScale f
 			os.Exit(1)
 		}
 	}
+	// An invariant violation is a failed run, not a footnote: the chaos
+	// audit must gate the exit status.
+	if res.Chaos != nil && len(res.Chaos.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: %d invariant violations\n", len(res.Chaos.Violations))
+		os.Exit(1)
+	}
+}
+
+// runScenarios drives the adversarial scenario pack. Output is
+// deterministic for a given base seed at any -workers; a failing
+// verdict (or a fleet error) exits non-zero so CI can gate on it.
+func runScenarios(which string, seed int64, sweep, workers int, chaos bool, verdictsOut string) {
+	var scens []scenario.Scenario
+	if strings.EqualFold(which, "all") {
+		scens = scenario.All()
+	} else {
+		s, ok := scenario.Get(which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fleetsim: unknown scenario %q (have %s, or all)\n",
+				which, strings.Join(scenario.Names(), ", "))
+			os.Exit(2)
+		}
+		scens = []scenario.Scenario{s}
+	}
+	if sweep < 1 {
+		sweep = 1
+	}
+	fmt.Printf("adversarial scenario pack: %d scenario(s), %d base seed(s) from %d, chaos %v\n\n",
+		len(scens), sweep, seed, chaos)
+
+	var verdicts []scenario.Verdict
+	failed := 0
+	for i := 0; i < sweep; i++ {
+		base := seed + int64(i)
+		for _, s := range scens {
+			ph := startPhase(s.Name())
+			r, err := s.Run(scenario.Options{Seed: base, Workers: workers, Chaos: chaos})
+			ph.done()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fleetsim: scenario %s (seed %d): %v\n", s.Name(), base, err)
+				os.Exit(1)
+			}
+			verdicts = append(verdicts, r.Verdict)
+			if !r.Verdict.Pass {
+				failed++
+			}
+			if sweep == 1 {
+				fmt.Println(r.Report)
+			} else {
+				// Sweeps keep one line per run so a 200-seed soak stays
+				// readable; the full evidence lands in -verdicts-out.
+				status := "PASS"
+				if !r.Verdict.Pass {
+					status = "FAIL"
+				}
+				fmt.Printf("seed %-12d %-18s %s\n", base, s.Name(), status)
+			}
+		}
+	}
+	if verdictsOut != "" {
+		b, err := scenario.MarshalVerdicts(verdicts)
+		if err == nil {
+			err = os.WriteFile(verdictsOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: verdicts-out:", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\nFAIL: %d of %d scenario runs failed their invariant verdict\n", failed, len(verdicts))
+		os.Exit(1)
+	}
+	fmt.Printf("\nok: all %d scenario runs passed their invariant verdicts\n", len(verdicts))
 }
 
 func runOps(databases, days int, seed int64, workers int, revertFocus bool, chaos fleet.ChaosConfig, metricsOut string) {
@@ -243,5 +331,11 @@ func runOps(databases, days int, seed int64, workers int, revertFocus bool, chao
 	if res.Chaos != nil {
 		fmt.Println()
 		fmt.Print(res.Chaos.Format())
+	}
+	// An invariant violation is a failed run, not a footnote: the audit
+	// (chaos mode always runs it) must gate the exit status.
+	if res.Audited && len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: %d invariant violations\n", len(res.Violations))
+		os.Exit(1)
 	}
 }

@@ -55,7 +55,12 @@ const (
 //   - every index the records promise present actually present — in
 //     particular a Reverted record leaves exactly the pre-change set.
 //
-// Records are applied to the expected set in (UpdatedAt, ID) order.
+// Records are applied to the expected set in (UpdatedAt, ID) order. A
+// successful drop discharges requirements for every signature sharing
+// its key columns, not just its own: a reverted drop may have adopted a
+// key-equivalent index instead of re-creating the original, and a later
+// intentional drop of that stand-in must not leave the original's
+// expectation dangling.
 // Error-state and still-in-flight records make their index ambiguous
 // (legitimately present or absent, since the failure may have struck on
 // either side of the DDL) — ambiguity never excuses a duplicate, and an
@@ -104,16 +109,21 @@ func checkDatabase(store Store, name string, target InvariantTarget, cfg Config,
 	required := make(map[string]bool)
 	accounted := make(map[string]bool)
 	ambiguous := make(map[string]bool)
+	// sigKeys maps every signature seen to its (table, key columns) pair,
+	// the equivalence class revert adoption works in.
+	sigKeys := make(map[string]string)
 	for _, def := range target.Baseline {
 		if def.Hypothetical {
 			continue
 		}
 		required[def.Signature()] = true
 		accounted[def.Signature()] = true
+		sigKeys[def.Signature()] = keySig(def)
 	}
 
 	for _, r := range recs {
 		sig := r.Index.Signature()
+		sigKeys[sig] = keySig(r.Index)
 		switch {
 		case !r.State.Terminal():
 			if r.State != StateActive {
@@ -150,6 +160,15 @@ func checkDatabase(store Store, name string, target InvariantTarget, cfg Config,
 			delete(required, sig)
 			delete(accounted, sig)
 			delete(ambiguous, sig)
+			// The flip side of revert adoption: a reverted drop may have
+			// adopted a key-equivalent index instead of re-creating its
+			// own, so an intentional drop of one member of the key class
+			// discharges every outstanding requirement in that class.
+			for s := range required {
+				if sigKeys[s] == sigKeys[sig] {
+					delete(required, s)
+				}
+			}
 		default:
 			// Drop Reverted/Expired: index restored or never dropped.
 		}

@@ -186,7 +186,11 @@ func classifyImplementError(err error) errorClass {
 	switch {
 	case errors.Is(err, engine.ErrIndexExists),
 		errors.Is(err, engine.ErrIndexNotFound),
-		errors.Is(err, engine.ErrTableNotFound):
+		errors.Is(err, engine.ErrTableNotFound),
+		errors.Is(err, schema.ErrColumnNotFound):
+		// ErrColumnNotFound: a customer schema migration (column drop or
+		// rename) raced the in-flight recommendation; the record is
+		// terminally stale but nothing is wrong with the service (§8.3).
 		return errClassWellKnown
 	case errors.Is(err, engine.ErrLockTimeout),
 		errors.Is(err, engine.ErrLogFull),

@@ -29,6 +29,14 @@ type Config struct {
 	// MinUpdates is the minimum maintenance burden before an unused index
 	// is worth dropping.
 	MinUpdates int64
+	// StaleAfter, when non-zero, flags indexes that were read in the past
+	// but whose last read is older than this window while writes keep
+	// maintaining them. The cumulative read-rate rule above cannot catch
+	// these: an index hot for weeks then abandoned by workload drift keeps
+	// a high lifetime reads-per-day long after it stopped earning its
+	// maintenance cost. Zero disables the rule (the conservative
+	// production default).
+	StaleAfter time.Duration
 }
 
 // DefaultConfig returns production-like settings (scaled for simulation).
@@ -47,6 +55,7 @@ type Reason string
 const (
 	ReasonUnused    Reason = "unused: maintained by writes but not read"
 	ReasonDuplicate Reason = "duplicate: identical key columns as another index"
+	ReasonStale     Reason = "stale: once read, now only maintained by writes"
 )
 
 // DropCandidate is one index the analysis proposes to drop.
@@ -105,6 +114,13 @@ func Analyze(db *engine.Database, observedSince time.Time, cfg Config) []DropCan
 		readsPerDay := float64(u.Reads()) / days
 		if readsPerDay <= cfg.MaxReadsPerDay && u.Updates >= cfg.MinUpdates {
 			out = append(out, DropCandidate{Def: def, Reason: ReasonUnused, Usage: u})
+			continue
+		}
+		// Staleness after workload drift: once-hot indexes whose reads
+		// stopped entirely while write maintenance continues.
+		if cfg.StaleAfter > 0 && u.Reads() > 0 && !u.LastRead.IsZero() &&
+			now.Sub(u.LastRead) >= cfg.StaleAfter && u.Updates >= cfg.MinUpdates {
+			out = append(out, DropCandidate{Def: def, Reason: ReasonStale, Usage: u})
 		}
 	}
 

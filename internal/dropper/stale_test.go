@@ -1,0 +1,61 @@
+package dropper
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoindex/internal/schema"
+)
+
+// TestStaleAfterRule pins the recency rule the drift scenario depends
+// on: an index that was read steadily and then went silent (while still
+// paying write maintenance) is reclaimed, even though its cumulative
+// read rate is far too high for the unused rule.
+func TestStaleAfterRule(t *testing.T) {
+	db, clock := buildDB(t)
+	since := clock.Now()
+	addIndex(t, db, schema.IndexDef{Name: "ix_stale", Table: "logs", KeyColumns: []string{"size"}})
+	// Hot phase: the index serves reads.
+	for i := 0; i < 20; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`SELECT id FROM logs WHERE size = %d`, i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The workload drifts: four days of write maintenance, zero reads.
+	for d := 0; d < 4; d++ {
+		churnWrites(t, db, 25)
+		clock.Advance(24 * time.Hour)
+	}
+
+	cfg := DefaultConfig()
+	cfg.StaleAfter = 36 * time.Hour
+	var stale *DropCandidate
+	cands := Analyze(db, since, cfg)
+	for i := range cands {
+		if cands[i].Def.Name == "ix_stale" {
+			stale = &cands[i]
+		}
+	}
+	if stale == nil || stale.Reason != ReasonStale {
+		t.Fatalf("staleness rule did not fire: %+v", cands)
+	}
+
+	// Without StaleAfter the index survives: ~5 reads/day dwarfs
+	// MaxReadsPerDay, so only recency can catch the drift.
+	for _, c := range Analyze(db, since, DefaultConfig()) {
+		if c.Def.Name == "ix_stale" {
+			t.Fatalf("flagged without StaleAfter: %+v", c)
+		}
+	}
+
+	// One fresh read resets the recency window.
+	if _, err := db.Exec(`SELECT id FROM logs WHERE size = 1`); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Analyze(db, since, cfg) {
+		if c.Def.Name == "ix_stale" && c.Reason == ReasonStale {
+			t.Fatalf("freshly read index still stale: %+v", c)
+		}
+	}
+}

@@ -9,9 +9,11 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoindex/internal/btree"
@@ -157,6 +159,14 @@ type Database struct {
 	schemaChanges int64
 	convoyBlocked int64
 	execCount     int64
+
+	// loadFactor multiplies measured CPU and duration (stored as
+	// math.Float64bits; 0 means unset, i.e. 1.0). Noisy-neighbor
+	// scenarios raise it at hour barriers to model co-tenants stealing
+	// shared-shard resources, skewing the timing signals the validator
+	// and recommenders consume. Atomic so barrier-time writes never race
+	// in-flight measurement reads under the race detector.
+	loadFactor atomic.Uint64
 }
 
 // BulkSource supplies rows for BULK INSERT statements.
@@ -217,6 +227,27 @@ func (d *Database) UsageDMV() *dmv.IndexUsageStore { return d.usage }
 
 // Locks returns the lock manager.
 func (d *Database) Locks() *LockManager { return d.locks }
+
+// SetLoadFactor scales every subsequent statement's measured CPU and
+// duration by f (f <= 0 resets to 1.0). It models a noisy co-tenant on
+// the same shared shard: logical reads stay deterministic and honest,
+// but the timing metrics — exactly what the validator and the MI
+// slope test consume — inflate.
+func (d *Database) SetLoadFactor(f float64) {
+	if f <= 0 || f == 1 {
+		d.loadFactor.Store(0)
+		return
+	}
+	d.loadFactor.Store(math.Float64bits(f))
+}
+
+// LoadFactor returns the current measurement scale (1.0 when unset).
+func (d *Database) LoadFactor() float64 {
+	if b := d.loadFactor.Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return 1.0
+}
 
 // RegisterBulkSource installs the row generator behind a BULK INSERT data
 // source name.

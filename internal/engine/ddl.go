@@ -360,6 +360,81 @@ func (d *Database) DropColumn(table, column string) error {
 	return nil
 }
 
+// RenameColumn renames a table column. User-created indexes referencing
+// the column follow the rename (the customer's ALTER carries its own
+// dependent objects), while auto-created indexes referencing it are
+// force-dropped, mirroring the DropColumn cascade: service-owned state
+// must never block or survive a customer schema migration (§8.3).
+// In-flight recommendations still naming the old column then fail
+// validation with schema.ErrColumnNotFound — the race the migration
+// scenario drives through the control plane's state machine.
+func (d *Database) RenameColumn(table, oldName, newName string) error {
+	d.mu.Lock()
+	t, ok := d.tables[strings.ToLower(table)]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTableNotFound, table)
+	}
+	ord := t.def.ColumnIndex(oldName)
+	if ord < 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("engine: no column %q in table %q", oldName, table)
+	}
+	if t.def.ColumnIndex(newName) >= 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("engine: column %q already exists in table %q", newName, table)
+	}
+	// Scan indexes in sorted key order so the cascade drop order is
+	// deterministic (same discipline as DropColumn).
+	ixKeys := make([]string, 0, len(d.indexes))
+	for k := range d.indexes {
+		ixKeys = append(ixKeys, k)
+	}
+	sort.Strings(ixKeys)
+	var toDrop []string
+	var toRename []*indexData
+	for _, k := range ixKeys {
+		ix := d.indexes[k]
+		if strings.EqualFold(ix.def.Table, table) && ix.def.HasColumn(oldName) {
+			if ix.def.AutoCreated {
+				toDrop = append(toDrop, ix.def.Name)
+			} else {
+				toRename = append(toRename, ix)
+			}
+		}
+	}
+	for _, n := range toDrop {
+		delete(d.indexes, strings.ToLower(n))
+		d.usage.Forget(n)
+	}
+	renameIn := func(cols []string) {
+		for i, c := range cols {
+			if strings.EqualFold(c, oldName) {
+				cols[i] = newName
+			}
+		}
+	}
+	for _, ix := range toRename {
+		// ix.def is a private Clone (made at CreateIndex), safe to mutate;
+		// ordinals are unchanged so trees and ordinal maps stay valid.
+		renameIn(ix.def.KeyColumns)
+		renameIn(ix.def.IncludedColumns)
+	}
+	// The table definition may be shared copy-on-write with archetype
+	// siblings; fork before mutating, as in DropColumn.
+	forked := cloneTableDef(t.def)
+	forked.Columns[ord].Name = newName
+	renameIn(forked.PrimaryKey)
+	t.def = forked
+	if st, ok := d.colStat[statKey(table, oldName)]; ok {
+		d.colStat[statKey(table, newName)] = st
+		delete(d.colStat, statKey(table, oldName))
+	}
+	d.noteSchemaChange()
+	d.mu.Unlock()
+	return nil
+}
+
 // DroppedAutoIndexes is a helper for tests: names of auto-created indexes
 // referencing a column (the cascade candidates).
 func (d *Database) DroppedAutoIndexes(table, column string) []string {

@@ -153,9 +153,12 @@ func (d *Database) measure(m *executor.Meter, blocked time.Duration) querystore.
 	// reads a little. This is what makes over-indexing a write-hot table
 	// measurably regress write statements — the dominant MI revert cause
 	// in §8.1.
-	cpuMs := d.noise.Apply(m.CPUUnits + 0.02*m.PagesRead + 0.25*m.PagesWritten)
+	// A noisy co-tenant (SetLoadFactor) inflates the timing metrics but
+	// never the logical reads — the skew §6 says validation must survive.
+	lf := d.LoadFactor()
+	cpuMs := d.noise.Apply(m.CPUUnits+0.02*m.PagesRead+0.25*m.PagesWritten) * lf
 	reads := m.PagesRead + m.PagesWritten
-	durMs := d.noise.Apply(cpuMs/d.cfg.Tier.CPUCores()+reads*0.05) + float64(blocked.Milliseconds())
+	durMs := d.noise.Apply(cpuMs/d.cfg.Tier.CPUCores()+reads*0.05)*lf + float64(blocked.Milliseconds())
 	return querystore.Measurement{
 		CPUMillis:      cpuMs,
 		LogicalReads:   reads,

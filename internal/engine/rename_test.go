@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"testing"
+
+	"autoindex/internal/schema"
+)
+
+func TestRenameColumnFollowsUserIndexesDropsAuto(t *testing.T) {
+	d, _ := testDB(t)
+	auto := schema.IndexDef{Name: "auto_ix_amount", Table: "orders", KeyColumns: []string{"amount"}, AutoCreated: true}
+	if err := d.CreateIndex(auto, IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+	user := schema.IndexDef{Name: "user_ix_status", Table: "orders", KeyColumns: []string{"status"}}
+	if err := d.CreateIndex(user, IndexBuildOptions{Online: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A user index follows the customer's rename; the renamed column is
+	// immediately queryable through it.
+	if err := d.RenameColumn("orders", "status", "state"); err != nil {
+		t.Fatalf("rename failed: %v", err)
+	}
+	def, ok := d.IndexDef("user_ix_status")
+	if !ok || len(def.KeyColumns) != 1 || def.KeyColumns[0] != "state" {
+		t.Fatalf("user index did not follow the rename: %+v (ok=%v)", def, ok)
+	}
+	res := mustExec(t, d, `SELECT COUNT(*) FROM orders WHERE state = 'open'`)
+	if res.Rows[0][0].I != 400 {
+		t.Fatalf("renamed column unqueryable: %v", res.Rows[0][0])
+	}
+	if _, err := d.Exec(`SELECT COUNT(*) FROM orders WHERE status = 'open'`); err == nil {
+		t.Fatal("old column name still resolves after rename")
+	}
+
+	// An auto index on the renamed column is force-dropped instead — the
+	// §8.3 cascade: service-owned state never blocks a customer ALTER.
+	if err := d.RenameColumn("orders", "amount", "total"); err != nil {
+		t.Fatalf("rename failed: %v", err)
+	}
+	if _, ok := d.IndexDef("auto_ix_amount"); ok {
+		t.Fatal("auto index should have been force-dropped by the rename")
+	}
+
+	if err := d.RenameColumn("orders", "no_such", "x"); err == nil {
+		t.Fatal("renaming a missing column must fail")
+	}
+	if err := d.RenameColumn("orders", "state", "total"); err == nil {
+		t.Fatal("renaming onto an existing column must fail")
+	}
+}

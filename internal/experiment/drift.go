@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DriftArm is one recommender policy's outcome under the workload-drift
+// scenario: a fleet run with every database pinned to a single
+// recommendation source, measured after the template mix rotates
+// mid-run. The scenario pack (internal/scenario) fills these in from
+// the control plane's operational counters; this package only scores
+// and renders them, mirroring how Fig6Summary sits below the fleet.
+type DriftArm struct {
+	// Policy labels the arm ("DTA", "MI").
+	Policy string
+	// Implemented counts index creates executed across the run.
+	Implemented int64
+	// Reverted counts validation-triggered reverts — the paper's measure
+	// of recommendations the workload proved wrong, which drift inflates
+	// for estimate-driven tuners.
+	Reverted int64
+	// DropRecommendations counts drop recommendations filed (the
+	// dropper reclaiming indexes the drift staled).
+	DropRecommendations int64
+}
+
+// RevertRate is Reverted/Implemented (0 when nothing was implemented).
+func (a DriftArm) RevertRate() float64 {
+	if a.Implemented == 0 {
+		return 0
+	}
+	return float64(a.Reverted) / float64(a.Implemented)
+}
+
+// DriftSummary is the fig6-style two-arm comparison of recommender
+// robustness under workload drift ("DBA bandits" frames drift as where
+// estimate-driven tuners are weakest; §8.1's revert rate is the metric
+// that shows it).
+type DriftSummary struct {
+	Arms []DriftArm
+}
+
+// String renders the comparison deterministically, arms in input order.
+func (s DriftSummary) String() string {
+	var b strings.Builder
+	b.WriteString("Workload-drift revert comparison (per recommender policy):\n")
+	for _, a := range s.Arms {
+		fmt.Fprintf(&b, "  %-4s implemented %3d, reverted %3d (%5.1f%%), drop recs %3d\n",
+			a.Policy, a.Implemented, a.Reverted, a.RevertRate()*100, a.DropRecommendations)
+	}
+	return b.String()
+}

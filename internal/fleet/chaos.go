@@ -212,15 +212,7 @@ func (ch *chaosHarness) drain(f *Fleet) int {
 		// sweeps comfortably fit in three weeks of virtual time.
 		max = 21 * 24
 	}
-	hours := 0
-	for ; hours < max && ch.inFlight(); hours++ {
-		ch.freezeAnalysis(f.Clock.Now())
-		f.Clock.Advance(time.Hour)
-		f.alignClocks()
-		ch.runner.Step()
-		f.alignClocks()
-	}
-	return hours
+	return drainInFlight(f, ch.mem, ch.runner.Step, max)
 }
 
 // report collects injector counters and runs the invariant checker.

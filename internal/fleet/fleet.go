@@ -200,6 +200,12 @@ type OpsConfig struct {
 	// Chaos, when enabled, injects seeded faults into every layer and
 	// audits invariants after a post-run drain.
 	Chaos ChaosConfig
+	// Hooks are the scenario-generator intervention points; see OpsHooks.
+	Hooks OpsHooks
+	// AuditInvariants runs the chaos-style post-run invariant audit
+	// (baseline capture, drain, CheckInvariants) even without chaos;
+	// results land in OpsResult.Violations. Chaos mode always audits.
+	AuditInvariants bool
 }
 
 // DefaultOpsConfig returns a simulation-scale configuration.
@@ -228,6 +234,12 @@ type OpsResult struct {
 	Plane                *controlplane.ControlPlane
 	// Chaos is the fault-injection report; nil unless chaos was enabled.
 	Chaos *ChaosReport
+	// Audited reports whether a post-run invariant audit ran (chaos mode
+	// or OpsConfig.AuditInvariants); Violations and DrainHours mirror the
+	// chaos report when chaos was on, so scenario verdicts read one place.
+	Audited    bool
+	Violations []controlplane.Violation
+	DrainHours int
 }
 
 // RunOps runs the long-horizon operational simulation. Each virtual hour,
@@ -256,7 +268,16 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 	// manage enrolls a tenant with the current plane incarnation; plane
 	// and step indirect through the crash runner when chaos is on, so a
 	// recovered restart swaps in the rebuilt control plane transparently.
+	// Fault-free audits capture the same enrollment-time index baselines
+	// the chaos harness does (chaos keeps its own copy inside the harness).
+	var auditBaselines map[string]controlplane.InvariantTarget
+	if cfg.AuditInvariants && ch == nil {
+		auditBaselines = make(map[string]controlplane.InvariantTarget)
+	}
 	manage := func(tn *workload.Tenant, s controlplane.Settings) {
+		if auditBaselines != nil {
+			auditBaselines[tn.DB.Name()] = controlplane.InvariantTarget{DB: tn.DB, Baseline: tn.DB.IndexDefs()}
+		}
 		if ch != nil {
 			ch.enroll(tn, s)
 			ch.runner.Plane.Manage(tn.DB, "server-0", s)
@@ -306,13 +327,28 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 	if cfg.NewTenantEvery > 0 {
 		nextNew = cfg.NewTenantEvery
 	}
+	hookCtx := func(hour int) *OpsHookContext {
+		return &OpsHookContext{Fleet: f, Hour: hour, Plane: plane(), Store: mem}
+	}
+	if cfg.Hooks.AfterBuild != nil {
+		cfg.Hooks.AfterBuild(hookCtx(-1))
+	}
 	start := f.Clock.Now()
 	hours := cfg.Days * 24
 	warmupHours := 24
 	for h := 0; h < hours; h++ {
+		if cfg.Hooks.BeforeHour != nil {
+			cfg.Hooks.BeforeHour(hookCtx(h))
+		}
 		forEachObserved(f.Metrics, f.spec.Workers, len(f.Tenants), func(i int) {
 			tn := f.Tenants[i]
-			tn.Run(0, cfg.StatementsPerHour)
+			n := cfg.StatementsPerHour
+			if cfg.Hooks.StatementsFor != nil {
+				if v := cfg.Hooks.StatementsFor(h, tn.DB.Name()); v >= 0 {
+					n = v
+				}
+			}
+			tn.Run(0, n)
 			if failRNG[tn.DB.Name()].Float64() < cfg.FailoverProb/24 {
 				tn.DB.Failover()
 				f.Metrics.Counter(descFailovers).Inc()
@@ -348,16 +384,28 @@ func (f *Fleet) runOps(spec Spec, cfg OpsConfig, mem controlplane.Store) (*OpsRe
 				failStream(tn)
 			}
 		}
+		if cfg.Hooks.AfterHour != nil {
+			cfg.Hooks.AfterHour(hookCtx(h))
+		}
 	}
 
 	if ch != nil {
 		drained := ch.drain(f)
 		res := &OpsResult{Stats: plane().OpStats(), Plane: plane()}
 		res.Chaos = ch.report(f.Clock.Now(), cfg.Plane, drained)
+		res.Audited = true
+		res.Violations = res.Chaos.Violations
+		res.DrainHours = res.Chaos.DrainHours
 		finishOps(f, plane(), res, startCosts, startTotal)
 		return res, nil
 	}
 	res := &OpsResult{Stats: cp.OpStats(), Plane: cp}
+	if auditBaselines != nil {
+		res.DrainHours = drainInFlight(f, mem, step, 21*24)
+		res.Violations = controlplane.CheckInvariants(mem, auditBaselines, cfg.Plane, f.Clock.Now())
+		res.Audited = true
+		res.Stats = cp.OpStats() // drain steps settle counters
+	}
 	finishOps(f, cp, res, startCosts, startTotal)
 	return res, nil
 }

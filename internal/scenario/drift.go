@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"strings"
+	"time"
+
+	"autoindex/internal/controlplane"
+	"autoindex/internal/core"
+	"autoindex/internal/engine"
+	"autoindex/internal/experiment"
+	"autoindex/internal/fleet"
+	"autoindex/internal/schema"
+)
+
+// Workload-drift tuning. The rotation fires after the dropper's MinAge
+// (48h) so staled indexes are already judgeable; StaleAfter at 36h plus
+// the 24h drop-scan cadence puts the reclaim around two to three days
+// after the drift, well inside the dwell budget.
+const (
+	driftDatabases    = 3
+	driftDays         = 6
+	driftStmtsPerHour = 20
+	driftRotationHour = 48
+	driftStaleAfter   = 36 * time.Hour
+	// driftHotFloor is the minimum lifetime reads for an index to count
+	// as hot at rotation time. It is set high enough that a hot index
+	// can never satisfy the dropper's cumulative unused rule afterwards
+	// (8 reads over <=7 days beats MaxReadsPerDay=0.5), so a post-window
+	// drop of a hot index is attributable to the staleness rule alone.
+	driftHotFloor = 8
+	// driftDwellBudget bounds how long a staled index may linger after
+	// the rotation before the dropper reclaims it.
+	driftDwellBudget = 96 * time.Hour
+)
+
+type driftScenario struct{}
+
+func (driftScenario) Name() string { return "workload-drift" }
+func (driftScenario) Describe() string {
+	return "template mix rotates mid-run; the dropper's staleness rule must reclaim the abandoned indexes"
+}
+
+// driftHooks rotates every tenant's mix at the rotation barrier. When
+// hot is non-nil it also snapshots, per database, which indexes were
+// actively read right before the drift (the reclaim targets).
+func driftHooks(hot map[string]map[string]bool, rotatedAt *time.Time) fleet.OpsHooks {
+	return fleet.OpsHooks{
+		BeforeHour: func(ctx *fleet.OpsHookContext) {
+			if ctx.Hour != driftRotationHour {
+				return
+			}
+			*rotatedAt = ctx.Fleet.Clock.Now()
+			for _, tn := range ctx.Fleet.Tenants {
+				if hot != nil {
+					set := make(map[string]bool)
+					for _, def := range tn.DB.IndexDefs() {
+						if def.Kind == schema.Clustered {
+							continue
+						}
+						if u, ok := tn.DB.UsageDMV().Usage(def.Name); ok && u.Reads() >= driftHotFloor {
+							set[strings.ToLower(def.Name)] = true
+						}
+					}
+					hot[tn.DB.Name()] = set
+				}
+				tn.RotateMix()
+			}
+		},
+	}
+}
+
+// driftPlane opts the dropper into the staleness rule. MinUpdates drops
+// to 10: scenario tables are small and the rule still demands ongoing
+// write maintenance, just scaled to the run length.
+func driftPlane(pc *controlplane.Config) {
+	pc.Dropper.StaleAfter = driftStaleAfter
+	pc.Dropper.MinUpdates = 10
+}
+
+func (s driftScenario) Run(opts Options) (*Result, error) {
+	seed := deriveSeed(opts.Seed, s.Name())
+	hot := make(map[string]map[string]bool)
+	var rotatedAt time.Time
+	_, res, err := runFleet(opts, seed, runConfig{
+		databases:         driftDatabases,
+		days:              driftDays,
+		statementsPerHour: driftStmtsPerHour,
+		hooks:             driftHooks(hot, &rotatedAt),
+		tunePlane:         driftPlane,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// A drop record proves the staleness rule fired when it reclaimed an
+	// index that was hot at rotation time and was only filed after the
+	// staleness window elapsed (duplicate and unused drops of hot
+	// indexes are ruled out by construction — see driftHotFloor, and
+	// duplicates are reclaimed during the first scans, pre-window).
+	windowOpen := rotatedAt.Add(driftStaleAfter)
+	staleDrops, postCreates := 0, 0
+	var maxDwell time.Duration
+	for _, r := range storeRecords(res, func(r *controlplane.Record) bool { return true }) {
+		switch {
+		case r.Action == core.ActionDropIndex && r.State == controlplane.StateSuccess &&
+			!r.CreatedAt.Before(windowOpen) && hot[r.Database][strings.ToLower(r.Index.Name)]:
+			staleDrops++
+			done := r.ImplementedAt
+			if done.IsZero() {
+				done = r.UpdatedAt
+			}
+			if d := done.Sub(rotatedAt); d > maxDwell {
+				maxDwell = d
+			}
+		case r.Action == core.ActionCreateIndex && r.CreatedAt.After(rotatedAt):
+			postCreates++
+		}
+	}
+
+	v := newVerdict(s.Name(), opts)
+	v.check("staleness-caught", staleDrops >= 1 && maxDwell <= driftDwellBudget,
+		"%d staled hot indexes reclaimed, max dwell %.0fh (budget %.0fh)",
+		staleDrops, maxDwell.Hours(), driftDwellBudget.Hours())
+	v.check("drift-adapts", postCreates >= 1,
+		"%d create recommendations filed after the rotation", postCreates)
+	auditChecks(&v, res)
+
+	// Policy arms: the same drifted fleet under a fleet-wide DTA-only
+	// and MI-only recommender policy — the fig6-style robustness
+	// comparison (revert rate is §8.1's "the workload proved us wrong"
+	// measure, which drift inflates for estimate-driven tuners).
+	summary := experiment.DriftSummary{}
+	for _, arm := range []struct {
+		label string
+		src   core.Source
+	}{{"DTA", core.SourceDTA}, {"MI", core.SourceMI}} {
+		src := arm.src
+		var armRotated time.Time
+		_, ares, err := runFleet(opts, seed, runConfig{
+			databases:         driftDatabases,
+			days:              driftDays,
+			statementsPerHour: driftStmtsPerHour,
+			hooks:             driftHooks(nil, &armRotated),
+			tunePlane: func(pc *controlplane.Config) {
+				driftPlane(pc)
+				pc.Policy = func(*engine.Database) core.Source { return src }
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		summary.Arms = append(summary.Arms, experiment.DriftArm{
+			Policy:              arm.label,
+			Implemented:         ares.Stats.CreatesImplemented,
+			Reverted:            ares.Stats.Reverts,
+			DropRecommendations: ares.Stats.DropRecommended,
+		})
+	}
+	v.evidence("stale-drops", float64(staleDrops))
+	v.evidence("max-dwell-hours", maxDwell.Hours())
+	v.evidence("post-rotation-creates", float64(postCreates))
+	v.evidence("revert-rate", res.Stats.RevertRate)
+	v.evidence("dta-revert-rate", summary.Arms[0].RevertRate())
+	v.evidence("mi-revert-rate", summary.Arms[1].RevertRate())
+	v.finalize()
+
+	return &Result{Verdict: v, Report: v.Format() + summary.String()}, nil
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"time"
+
+	"autoindex/internal/fleet"
+	"autoindex/internal/querystore"
+)
+
+// Noisy-neighbor tuning: for sixty virtual hours, half the tenants
+// (even slots — they share a shard with the noisy one) see every timing
+// measurement inflated threefold while logical metrics stay truthful.
+// §6 builds validation on logical metrics for exactly this reason; the
+// run measures how much revert pressure the skew still induces, against
+// a quiet twin fleet with the same seed.
+const (
+	neighborDatabases    = 3
+	neighborDays         = 6
+	neighborStmtsPerHour = 15
+	neighborNoiseStart   = 48
+	neighborNoiseEnd     = 108
+	neighborLoadFactor   = 3.0
+)
+
+type neighborScenario struct{}
+
+func (neighborScenario) Name() string { return "noisy-neighbor" }
+func (neighborScenario) Describe() string {
+	return "a co-located tenant skews shared-shard timing signals; validation must not melt down"
+}
+
+// neighborVictim marks the tenants sharing the noisy shard.
+func neighborVictim(slot int) bool { return slot%2 == 0 }
+
+// neighborHooks applies (or, for the quiet twin, only tracks) the noise
+// window. The window bounds are captured so both runs measure CPU over
+// identical virtual intervals.
+func neighborHooks(noisy bool, from, to *time.Time) fleet.OpsHooks {
+	return fleet.OpsHooks{
+		BeforeHour: func(ctx *fleet.OpsHookContext) {
+			switch ctx.Hour {
+			case neighborNoiseStart:
+				*from = ctx.Fleet.Clock.Now()
+				if noisy {
+					for i, tn := range ctx.Fleet.Tenants {
+						if neighborVictim(i) {
+							tn.DB.SetLoadFactor(neighborLoadFactor)
+						}
+					}
+				}
+			case neighborNoiseEnd:
+				*to = ctx.Fleet.Clock.Now()
+				if noisy {
+					for i, tn := range ctx.Fleet.Tenants {
+						if neighborVictim(i) {
+							tn.DB.SetLoadFactor(1)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// victimCPU sums measured CPU over the noise window across victim
+// tenants (query hashes are sorted, so the float sum is stable).
+func victimCPU(f *fleet.Fleet, from, to time.Time) float64 {
+	var total float64
+	for i, tn := range f.Tenants {
+		if !neighborVictim(i) {
+			continue
+		}
+		qs := tn.DB.QueryStore()
+		for _, h := range qs.QueryHashes() {
+			if s, ok := qs.QueryWindowSample(h, querystore.MetricCPU, from, to); ok {
+				total += s.Mean * float64(s.N)
+			}
+		}
+	}
+	return total
+}
+
+func (s neighborScenario) Run(opts Options) (*Result, error) {
+	seed := deriveSeed(opts.Seed, s.Name())
+	rc := func(noisy bool, from, to *time.Time) runConfig {
+		return runConfig{
+			databases:         neighborDatabases,
+			days:              neighborDays,
+			statementsPerHour: neighborStmtsPerHour,
+			hooks:             neighborHooks(noisy, from, to),
+		}
+	}
+	var noisyFrom, noisyTo time.Time
+	nf, nres, err := runFleet(opts, seed, rc(true, &noisyFrom, &noisyTo))
+	if err != nil {
+		return nil, err
+	}
+	var quietFrom, quietTo time.Time
+	qf, qres, err := runFleet(opts, seed, rc(false, &quietFrom, &quietTo))
+	if err != nil {
+		return nil, err
+	}
+
+	noisyCPU := victimCPU(nf, noisyFrom, noisyTo)
+	quietCPU := victimCPU(qf, quietFrom, quietTo)
+	ratio := 0.0
+	if quietCPU > 0 {
+		ratio = noisyCPU / quietCPU
+	}
+
+	v := newVerdict(s.Name(), opts)
+	v.check("timing-skew-observed", ratio > 1.5,
+		"victim CPU inflated %.2fx during the noise window", ratio)
+	v.check("control-run-clean", len(qres.Violations) == 0 && qres.DrainHours < 21*24,
+		"quiet twin: %d violations, drained in %dh", len(qres.Violations), qres.DrainHours)
+	if !opts.Chaos {
+		// Skew may cost reverts (that is the evidence below) but must
+		// never corrupt operations into on-call incidents.
+		v.check("no-incidents", nres.Stats.Incidents == 0,
+			"%d incidents under timing skew", nres.Stats.Incidents)
+	}
+	auditChecks(&v, nres)
+	v.evidence("cpu-skew-ratio", ratio)
+	v.evidence("noisy-reverts", float64(nres.Stats.Reverts))
+	v.evidence("quiet-reverts", float64(qres.Stats.Reverts))
+	v.evidence("revert-inflation", float64(nres.Stats.Reverts-qres.Stats.Reverts))
+	v.evidence("revert-rate", nres.Stats.RevertRate)
+	v.finalize()
+	return &Result{Verdict: v, Report: v.Format()}, nil
+}

@@ -1,0 +1,171 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autoindex/internal/scenario"
+)
+
+const testSeed = 20170301
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[string]*scenario.Result{}
+)
+
+// runScenario memoizes scenario runs so the determinism matrix, the
+// pass assertions and the acceptance test share fleets instead of
+// re-running them.
+func runScenario(t *testing.T, name string, workers int, chaos bool) *scenario.Result {
+	t.Helper()
+	key := fmt.Sprintf("%s/w%d/chaos=%v", name, workers, chaos)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := runCache[key]; ok {
+		return r
+	}
+	s, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	r, err := s.Run(scenario.Options{Seed: testSeed, Workers: workers, Chaos: chaos})
+	if err != nil {
+		t.Fatalf("%s: %v", key, err)
+	}
+	runCache[key] = r
+	return r
+}
+
+func marshal(t *testing.T, r *scenario.Result) []byte {
+	t.Helper()
+	b, err := scenario.MarshalVerdicts([]scenario.Verdict{r.Verdict})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestRegistry(t *testing.T) {
+	names := scenario.Names()
+	want := []string{"workload-drift", "schema-migration", "flash-crowd", "noisy-neighbor"}
+	if len(names) != len(want) {
+		t.Fatalf("registry: got %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registry order: got %v, want %v", names, want)
+		}
+		if _, ok := scenario.Get(n); !ok {
+			t.Fatalf("Get(%q) failed", n)
+		}
+	}
+	if _, ok := scenario.Get("no-such"); ok {
+		t.Fatal("Get accepted an unknown name")
+	}
+}
+
+// TestScenarioVerdictsPass is the acceptance gate: every scenario must
+// emit a passing verdict at the pinned CI seed.
+func TestScenarioVerdictsPass(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := runScenario(t, name, 4, false)
+			if !r.Verdict.Pass {
+				t.Fatalf("verdict failed:\n%s", r.Report)
+			}
+			// The JSON contract must round-trip.
+			b := marshal(t, r)
+			vs, err := scenario.UnmarshalVerdicts(b)
+			if err != nil || len(vs) != 1 || vs[0].Scenario != name {
+				t.Fatalf("round-trip: %v %+v", err, vs)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism mirrors scale_determinism_test.go: a
+// scenario's report and verdict JSON are byte-identical at any worker
+// count.
+func TestScenarioDeterminism(t *testing.T) {
+	matrix := map[string][]int{
+		"workload-drift":   {1, 4},
+		"schema-migration": {1, 4, 8},
+		"flash-crowd":      {1, 4, 8},
+		"noisy-neighbor":   {1, 4},
+	}
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			workers := matrix[name]
+			base := runScenario(t, name, workers[0], false)
+			baseJSON := marshal(t, base)
+			for _, w := range workers[1:] {
+				got := runScenario(t, name, w, false)
+				if got.Report != base.Report {
+					t.Errorf("report differs between workers=%d and workers=%d:\n--- w=%d\n%s\n--- w=%d\n%s",
+						workers[0], w, workers[0], base.Report, w, got.Report)
+				}
+				if !bytes.Equal(marshal(t, got), baseJSON) {
+					t.Errorf("verdict JSON differs between workers=%d and workers=%d", workers[0], w)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminismChaos repeats the worker sweep with fault
+// injection on for the two cheapest scenarios.
+func TestScenarioDeterminismChaos(t *testing.T) {
+	for _, name := range []string{"schema-migration", "flash-crowd"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := runScenario(t, name, 1, true)
+			got := runScenario(t, name, 4, true)
+			if got.Report != base.Report {
+				t.Errorf("chaos report differs between workers=1 and workers=4:\n--- w=1\n%s\n--- w=4\n%s",
+					base.Report, got.Report)
+			}
+			if !bytes.Equal(marshal(t, got), marshal(t, base)) {
+				t.Errorf("chaos verdict JSON differs between workers=1 and workers=4")
+			}
+			if !base.Verdict.Chaos {
+				t.Error("verdict does not record chaos=true")
+			}
+		})
+	}
+}
+
+// TestDriftDropperAcceptance pins the tentpole claim: the rotation
+// demonstrably stales once-hot indexes and the dropper's staleness rule
+// revokes them within the dwell budget (four virtual days).
+func TestDriftDropperAcceptance(t *testing.T) {
+	r := runScenario(t, "workload-drift", 4, false)
+	var caught bool
+	for _, c := range r.Verdict.Checks {
+		if c.Name == "staleness-caught" {
+			caught = c.Pass
+		}
+	}
+	if !caught {
+		t.Fatalf("staleness-caught check failed:\n%s", r.Report)
+	}
+	var drops, dwell float64
+	for _, e := range r.Verdict.Evidence {
+		switch e.Name {
+		case "stale-drops":
+			drops = e.Value
+		case "max-dwell-hours":
+			dwell = e.Value
+		}
+	}
+	if drops < 1 {
+		t.Fatalf("no staled index was reclaimed:\n%s", r.Report)
+	}
+	if dwell <= 0 || dwell > 96 {
+		t.Fatalf("stale-index dwell %vh outside (0, 96h]:\n%s", dwell, r.Report)
+	}
+}

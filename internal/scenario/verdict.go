@@ -1,0 +1,113 @@
+// Package scenario implements the adversarial scenario pack: pluggable
+// generators that drive a fleet through the failure modes production
+// auto-indexing tuners actually die on — workload drift, mid-run schema
+// migrations, flash-crowd bursts and noisy neighbors (AIM and "DBA
+// bandits" in PAPERS.md organize around exactly these) — and emit
+// chaos-style invariant verdicts CI can gate on.
+//
+// Determinism contract: a scenario's Result (verdict JSON and report
+// text) is a function of (scenario, Options.Seed, Options.Chaos) alone —
+// byte-identical at any Options.Workers, with or without chaos enabled
+// elsewhere in the matrix. Every intervention runs at fleet barriers
+// through fleet.OpsHooks.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Check is one named pass/fail assertion inside a verdict.
+type Check struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// Evidence is one named measurement backing the verdict. Values are
+// numeric so cmd/benchdiff can diff verdict files and flag regressions
+// (e.g. a revert-rate jump) the way it flags benchmark slowdowns.
+type Evidence struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Verdict is the stable-JSON outcome contract for one scenario run,
+// mirroring the {file,line,...} discipline of cmd/lint -json: fixed
+// field order (struct order), slices not maps, no timestamps, no
+// host-dependent content.
+type Verdict struct {
+	Scenario string     `json:"scenario"`
+	Seed     int64      `json:"seed"`
+	Chaos    bool       `json:"chaos"`
+	Pass     bool       `json:"pass"`
+	Checks   []Check    `json:"checks"`
+	Evidence []Evidence `json:"evidence"`
+}
+
+// check appends an assertion and folds it into the verdict's Pass.
+func (v *Verdict) check(name string, pass bool, format string, args ...any) {
+	v.Checks = append(v.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// evidence appends one measurement.
+func (v *Verdict) evidence(name string, value float64) {
+	v.Evidence = append(v.Evidence, Evidence{Name: name, Value: value})
+}
+
+// finalize computes the overall Pass from the checks.
+func (v *Verdict) finalize() {
+	v.Pass = true
+	for _, c := range v.Checks {
+		if !c.Pass {
+			v.Pass = false
+		}
+	}
+}
+
+// Format renders the verdict deterministically for stdout diffing.
+func (v *Verdict) Format() string {
+	var b strings.Builder
+	status := "PASS"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	chaos := "off"
+	if v.Chaos {
+		chaos = "on"
+	}
+	fmt.Fprintf(&b, "verdict %s (seed %d, chaos %s): %s\n", v.Scenario, v.Seed, chaos, status)
+	for _, c := range v.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  check %-24s %s — %s\n", c.Name, mark, c.Detail)
+	}
+	for _, e := range v.Evidence {
+		fmt.Fprintf(&b, "  evidence %-21s %.4f\n", e.Name, e.Value)
+	}
+	return b.String()
+}
+
+// MarshalVerdicts renders the verdict list as indented JSON — the file
+// CI archives and cmd/benchdiff -verdicts diffs. Struct-ordered fields
+// and slice-backed collections make the bytes a pure function of the
+// verdict values.
+func MarshalVerdicts(vs []Verdict) ([]byte, error) {
+	b, err := json.MarshalIndent(vs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalVerdicts parses a verdict file.
+func UnmarshalVerdicts(data []byte) ([]Verdict, error) {
+	var vs []Verdict
+	if err := json.Unmarshal(data, &vs); err != nil {
+		return nil, fmt.Errorf("scenario: parsing verdicts: %w", err)
+	}
+	return vs, nil
+}

@@ -8,11 +8,19 @@
 package schema
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"autoindex/internal/value"
 )
+
+// ErrColumnNotFound marks an index definition referencing a column its
+// table no longer has. Schema migrations (column drops/renames) racing
+// in-flight recommendations surface it through IndexDef.Validate; the
+// control plane treats it as a well-known terminal condition rather
+// than an incident (§8.3).
+var ErrColumnNotFound = errors.New("schema: column not in table")
 
 // Column describes one table column.
 type Column struct {
@@ -249,7 +257,7 @@ func (d IndexDef) Validate(t *Table) error {
 		}
 		seen[lc] = true
 		if t.ColumnIndex(c) < 0 {
-			return fmt.Errorf("schema: index %s: column %s not in table %s", d.Name, c, t.Name)
+			return fmt.Errorf("%w: index %s: column %s not in table %s", ErrColumnNotFound, d.Name, c, t.Name)
 		}
 	}
 	return nil

@@ -1,0 +1,76 @@
+package workload
+
+import "sort"
+
+// RotateMix injects adversarial workload drift: the popular half of the
+// read mix is retired outright (weight zero — the application deprecated
+// those features) and the formerly cold half inherits the retired
+// weights, heaviest to the coldest. Indexes built for the previously hot
+// templates stop being read entirely — their usage rows freeze at the
+// rotation instant, exactly the shape the dropper's staleness rule
+// (§5.4 recency) exists to reclaim — while the newly hot templates
+// surface fresh missing-index signal for the recommenders. The write
+// mix is left untouched: every table keeps taking the same writes, so
+// the staled indexes keep paying maintenance costs (what makes them
+// worth dropping) and the data volume trajectory stays comparable
+// across the rotation.
+//
+// The template slice is forked before mutation: archetype siblings
+// share Templates copy-on-write, so the rotation must be invisible to
+// every other tenant stamped from the same archetype.
+func (t *Tenant) RotateMix() {
+	forked := make([]*Template, len(t.Templates))
+	for i, tpl := range t.Templates {
+		cp := *tpl
+		forked[i] = &cp
+	}
+	var reads []*Template
+	for _, tpl := range forked {
+		if !tpl.IsWrite {
+			reads = append(reads, tpl)
+		}
+	}
+	retireAndPromote(reads)
+	t.Templates = forked
+}
+
+// rankAscending returns the group's indices ordered by (weight, name)
+// ascending — a pure function of the mix, never of slice order.
+func rankAscending(group []*Template) []int {
+	order := make([]int, len(group))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := group[order[a]], group[order[b]]
+		if ta.Weight != tb.Weight {
+			return ta.Weight < tb.Weight
+		}
+		return ta.Name < tb.Name
+	})
+	return order
+}
+
+// retireAndPromote zeroes the heavy half of the group and hands its
+// weights to the light half in reverse rank order (the lightest
+// template becomes the heaviest). Zero-weight templates are never
+// sampled by pickTemplate, so retirement fully silences them without
+// changing the per-statement draw count.
+func retireAndPromote(group []*Template) {
+	if len(group) < 2 {
+		return
+	}
+	order := rankAscending(group)
+	n := len(order)
+	weights := make([]float64, n)
+	for i, idx := range order {
+		weights[i] = group[idx].Weight
+	}
+	for i, idx := range order {
+		if i < (n+1)/2 {
+			group[idx].Weight = weights[n-1-i]
+		} else {
+			group[idx].Weight = 0
+		}
+	}
+}

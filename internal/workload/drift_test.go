@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+// Template names are not guaranteed unique (a table can draw the same
+// equality template twice), so the rotation tests key everything by
+// slice position, which is the identity RotateMix itself works with.
+func weightsByIndex(tn *Tenant) []float64 {
+	w := make([]float64, len(tn.Templates))
+	for i, tpl := range tn.Templates {
+		w[i] = tpl.Weight
+	}
+	return w
+}
+
+func TestRotateMixRetiresHotReads(t *testing.T) {
+	_, sibs := stampSiblings(t, 2)
+	tn, sib := sibs[0], sibs[1]
+	before := weightsByIndex(tn)
+	sibBefore := weightsByIndex(sib)
+
+	// Pre-rotation read ranking, (weight, name) ascending — the same
+	// order retireAndPromote works in.
+	var readIdx []int
+	for i, tpl := range tn.Templates {
+		if !tpl.IsWrite {
+			readIdx = append(readIdx, i)
+		}
+	}
+	if len(readIdx) < 2 {
+		t.Fatalf("profile has %d read templates; need at least 2", len(readIdx))
+	}
+	sort.SliceStable(readIdx, func(a, b int) bool {
+		ta, tb := tn.Templates[readIdx[a]], tn.Templates[readIdx[b]]
+		if ta.Weight != tb.Weight {
+			return ta.Weight < tb.Weight
+		}
+		return ta.Name < tb.Name
+	})
+
+	tn.RotateMix()
+	after := weightsByIndex(tn)
+
+	// The write mix is untouched: maintenance pressure must survive the
+	// drift, or staled indexes would look free to keep.
+	for i, tpl := range tn.Templates {
+		if tpl.IsWrite && after[i] != before[i] {
+			t.Errorf("write template %s: weight %v -> %v, want unchanged", tpl.Name, before[i], after[i])
+		}
+	}
+	// The formerly-cold half inherits the hot half's weights in reverse
+	// rank order; the formerly-hot half is retired outright.
+	n := len(readIdx)
+	promoted := (n + 1) / 2
+	for rank, i := range readIdx {
+		name := tn.Templates[i].Name
+		if rank < promoted {
+			if want := before[readIdx[n-1-rank]]; after[i] != want {
+				t.Errorf("promoted read %s: weight %v, want %v (inherited from rank %d)", name, after[i], want, n-1-rank)
+			}
+		} else if after[i] != 0 {
+			t.Errorf("hot read %s not retired: weight %v", name, after[i])
+		}
+	}
+
+	// Archetype siblings share the template slice copy-on-write: the
+	// rotation must be invisible to them.
+	for i, w := range weightsByIndex(sib) {
+		if w != sibBefore[i] {
+			t.Errorf("sibling template %s mutated: %v -> %v", sib.Templates[i].Name, sibBefore[i], w)
+		}
+	}
+
+	// The rotation is a pure function of the mix: the sibling (stamped
+	// from the same archetype, so the same mix) rotates identically.
+	sib.RotateMix()
+	for i, w := range weightsByIndex(sib) {
+		if w != after[i] {
+			t.Errorf("rotation not deterministic: template %d is %v on one tenant, %v on its sibling", i, after[i], w)
+		}
+	}
+
+	// Retired templates are dead: pickTemplate never samples weight zero.
+	for i := 0; i < 500; i++ {
+		if tpl := tn.pickTemplate(); tpl.Weight == 0 {
+			t.Fatalf("retired template %s sampled after rotation", tpl.Name)
+		}
+	}
+}
